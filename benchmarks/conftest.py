@@ -1,0 +1,25 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper table/figure at the chosen fidelity
+(``REPRO_FIDELITY`` env var: tiny | default | full) and asserts the
+figure's qualitative shape.  The underlying sweeps are memoized, so the
+first benchmark touching a sweep pays the simulation cost and the rest
+re-read it — exactly how the figures share runs in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import FIDELITIES
+
+
+@pytest.fixture(scope="session")
+def fidelity():
+    name = os.environ.get("REPRO_FIDELITY", "default")
+    if name not in FIDELITIES:
+        raise ValueError(
+            f"REPRO_FIDELITY must be one of {sorted(FIDELITIES)}")
+    return FIDELITIES[name]

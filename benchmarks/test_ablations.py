@@ -1,0 +1,161 @@
+"""Ablation benchmarks beyond the paper's figures (DESIGN.md §7).
+
+Each ablation isolates one design choice the paper bakes in:
+
+* FR-FCFS scheduling vs plain FCFS;
+* MOCA's hot-object allocation priority (Sec. VI-B) vs naive
+  instantiation order;
+* the Fig. 5 thresholds vs turning classification off entirely;
+* training-input profiling vs an oracle profiled on the test input.
+"""
+
+import pytest
+
+from repro.cpu.core import InOrderWindowCore
+from repro.memctrl.scheduler import fcfs_order, frfcfs_order
+from repro.moca.allocation import MocaPolicy, plan_placement
+from repro.moca.classify import Thresholds
+from repro.moca.framework import MocaFramework
+from repro.moca.profiler import profile_app
+from repro.sim.config import HETER_CONFIG1, HOMOGEN_DDR3
+from repro.sim.metrics import collect_metrics
+from repro.sim.single import filtered_stream, run_single
+from repro.workloads.inputs import build_app_trace
+
+
+def test_ablation_frfcfs_vs_fcfs(benchmark, fidelity):
+    """FR-FCFS must not lose to FCFS; it should win on row-locality-rich
+    streaming traffic (that is its entire purpose)."""
+
+    def run(scheduler):
+        stream, _ = filtered_stream("lbm", "ref", fidelity.n_single)
+        layout = build_app_trace("lbm", "ref", fidelity.n_single).layout
+        memsys = HOMOGEN_DDR3.build()
+        for group in memsys.groups:
+            for ctl in group.controllers:
+                ctl.scheduler = scheduler
+        allocator = HOMOGEN_DDR3.make_allocator(memsys)
+        from repro.moca.allocation import HomogeneousPolicy
+        plan = plan_placement([stream], HomogeneousPolicy(), allocator,
+                              layouts=[layout])
+        core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0])
+        res = core.run_to_completion(memsys)
+        return collect_metrics("ddr3", "homogen", "lbm", [res], memsys)
+
+    frfcfs = benchmark(run, frfcfs_order)
+    fcfs = run(fcfs_order)
+    print(f"\nFR-FCFS mem time: {frfcfs.mem_access_cycles}, "
+          f"FCFS: {fcfs.mem_access_cycles}")
+    assert frfcfs.mem_access_cycles <= fcfs.mem_access_cycles * 1.01
+
+
+def test_ablation_heat_priority(benchmark, fidelity):
+    """MOCA with the Sec. VI-B hot-object priority vs the same types in
+    instantiation order.  Priority must not hurt, and it should help on
+    mcf, whose cold setup objects are instantiated first."""
+
+    def run(with_heat: bool):
+        app = "mcf"
+        stream, _ = filtered_stream(app, "ref", fidelity.n_single)
+        trace = build_app_trace(app, "ref", fidelity.n_single)
+        fw = MocaFramework(profile_accesses=fidelity.n_single)
+        inst = fw.instrument(app)
+        types = fw.runtime_types(inst, trace)
+        heat = fw.runtime_heat(inst, trace) if with_heat else None
+        memsys = HETER_CONFIG1.build()
+        allocator = HETER_CONFIG1.make_allocator(memsys)
+        policy = MocaPolicy([types], [heat] if heat else None)
+        plan = plan_placement([stream], policy, allocator,
+                              layouts=[trace.layout])
+        core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0])
+        res = core.run_to_completion(memsys)
+        return collect_metrics("c1", "moca", app, [res], memsys)
+
+    with_heat = benchmark(run, True)
+    without = run(False)
+    print(f"\nwith heat priority: {with_heat.mem_access_cycles}, "
+          f"without: {without.mem_access_cycles}")
+    assert with_heat.mem_access_cycles <= without.mem_access_cycles * 1.02
+
+
+def test_ablation_classification_off(benchmark, fidelity):
+    """Thr_Lat = inf sends everything to LPDDR: classification earns its
+    keep when MOCA-with-paper-thresholds is much faster."""
+    paper = benchmark(
+        run_single, "mcf", HETER_CONFIG1, "moca",
+        n_accesses=fidelity.n_single)
+    off = run_single("mcf", HETER_CONFIG1, "moca",
+                     n_accesses=fidelity.n_single,
+                     thresholds=Thresholds(thr_lat=1e9, thr_bw=20.0))
+    print(f"\npaper thresholds: {paper.mem_access_cycles}, "
+          f"classification off: {off.mem_access_cycles}")
+    assert paper.mem_access_cycles < off.mem_access_cycles * 0.8
+
+
+def test_ablation_stride_prefetcher(benchmark, fidelity):
+    """Paper extension: Table I's core has no prefetcher.  In this model
+    the MSHR-window episodes already hide most streaming latency (that
+    is exactly why streaming objects classify B), so a stride prefetcher
+    shows up as demand-miss *coverage*, not extra throughput: it must
+    absorb most of lbm's stream misses, leave chase-bound mcf untouched,
+    and never change execution time materially on either."""
+    from repro.cpu.hierarchy import CacheHierarchy
+    from repro.cpu.prefetch import StridePrefetcher
+    from repro.moca.allocation import HomogeneousPolicy
+
+    def run(app, with_pf: bool):
+        trace = build_app_trace(app, "ref", fidelity.n_single)
+        pf = StridePrefetcher(degree=2) if with_pf else None
+        stream, _ = CacheHierarchy(prefetcher=pf).filter_trace(trace)
+        memsys = HOMOGEN_DDR3.build()
+        allocator = HOMOGEN_DDR3.make_allocator(memsys)
+        plan = plan_placement([stream], HomogeneousPolicy(), allocator,
+                              layouts=[trace.layout])
+        core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0])
+        return core.run_to_completion(memsys)
+
+    lbm_pf = benchmark(run, "lbm", True)
+    lbm_plain = run("lbm", False)
+    mcf_pf = run("mcf", True)
+    mcf_plain = run("mcf", False)
+    print(f"\nlbm: plain cycles={lbm_plain.cycles} loads={lbm_plain.n_load_misses}"
+          f" | pf cycles={lbm_pf.cycles} loads={lbm_pf.n_load_misses}"
+          f" prefetches={lbm_pf.n_prefetches}")
+    # Coverage: most streaming demand loads become background fills.
+    assert lbm_pf.n_load_misses < lbm_plain.n_load_misses * 0.4
+    assert lbm_pf.n_prefetches > 0
+    # Chase misses are unpredictable: mcf barely prefetches.
+    assert mcf_pf.n_prefetches < mcf_plain.n_demand * 0.1
+    # Prefetching may speed streams up (it does, ~20% on lbm at default
+    # fidelity) but must never materially slow either app down.
+    assert lbm_pf.cycles < lbm_plain.cycles * 1.1
+    assert mcf_pf.cycles < mcf_plain.cycles * 1.1
+
+
+def test_ablation_training_vs_oracle(benchmark, fidelity):
+    """Profiling on the training input must be nearly as good as an
+    oracle profiled on the reference input itself — the premise that
+    behaviour is input-stable (paper Sec. III)."""
+
+    def run(profile_input: str):
+        app = "disparity"
+        stream, _ = filtered_stream(app, "ref", fidelity.n_single)
+        trace = build_app_trace(app, "ref", fidelity.n_single)
+        fw = MocaFramework(profile_input=profile_input,
+                           profile_accesses=fidelity.n_single)
+        inst = fw.instrument(app)
+        policy = MocaPolicy([fw.runtime_types(inst, trace)],
+                            [fw.runtime_heat(inst, trace)])
+        memsys = HETER_CONFIG1.build()
+        allocator = HETER_CONFIG1.make_allocator(memsys)
+        plan = plan_placement([stream], policy, allocator,
+                              layouts=[trace.layout])
+        core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0])
+        res = core.run_to_completion(memsys)
+        return collect_metrics("c1", "moca", app, [res], memsys)
+
+    trained = benchmark(run, "train")
+    oracle = run("ref")
+    print(f"\ntrain-profiled: {trained.mem_access_cycles}, "
+          f"oracle: {oracle.mem_access_cycles}")
+    assert trained.mem_access_cycles <= oracle.mem_access_cycles * 1.10

@@ -1,0 +1,33 @@
+"""Benchmarks for the beyond-the-paper experiments (devices, taillat)."""
+
+from repro.experiments import devices, taillat
+
+
+def test_devices_characterization(benchmark):
+    fig = benchmark(devices.compute)
+    print("\n" + fig.render())
+    by_dev = {r[0]: r for r in fig.rows}
+    cols = fig.columns
+    conflict = cols.index("conflict_ns")
+    stream = cols.index("stream_gbps")
+    # Sec. II character: RLDRAM latency leader, HBM bandwidth leader,
+    # LPDDR2 laggard on both.
+    assert by_dev["RLDRAM3"][conflict] == min(r[conflict] for r in fig.rows)
+    assert by_dev["HBM"][stream] == max(r[stream] for r in fig.rows)
+    assert by_dev["LPDDR2"][stream] == min(r[stream] for r in fig.rows)
+
+
+def test_taillat_percentiles(benchmark, fidelity):
+    fig = benchmark(taillat.compute, fidelity)
+    print("\n" + fig.render())
+    cols = fig.columns
+    for row in fig.rows:
+        app = row[0]
+        # RL's p99 is the shortest tail everywhere.
+        rl_p99 = row[cols.index("RL_p99")]
+        for label in ("DDR3", "Heter-App", "MOCA"):
+            assert rl_p99 <= row[cols.index(f"{label}_p99")], (app, label)
+    # MOCA matches RL's p50 bucket for the chase-dominated apps.
+    for app in ("mcf", "disparity"):
+        row = fig.row(app)
+        assert row[cols.index("MOCA_p50")] <= row[cols.index("DDR3_p50")]

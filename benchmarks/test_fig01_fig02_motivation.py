@@ -1,0 +1,39 @@
+"""Benchmarks regenerating the motivation figures (paper Figs. 1 and 2)."""
+
+from repro.experiments import fig01, fig02
+from repro.experiments.fig02 import object_spread
+
+
+def test_fig01_app_behavior(benchmark, fidelity):
+    fig = benchmark(fig01.compute, fidelity)
+    print("\n" + fig.render())
+    # Shape: the three Table III classes separate on the two metrics.
+    by_app = {r[0]: r for r in fig.rows}
+    intensive_floor = min(by_app[a][2] for a in
+                          ("mcf", "milc", "libquantum", "disparity",
+                           "mser", "lbm", "tracking"))
+    for lapp in ("mcf", "milc", "libquantum", "disparity"):
+        assert by_app[lapp][2] > 10      # memory-intensive
+        assert by_app[lapp][3] > 20      # low MLP
+    for bapp in ("mser", "lbm", "tracking"):
+        assert by_app[bapp][2] > 10
+        assert by_app[bapp][3] <= 20     # high MLP
+    for napp in ("gcc", "sift", "stitch"):
+        # N apps sit far below every intensive app (absolute MPKI at
+        # tiny fidelity carries cold-start noise; the *separation* is
+        # the figure's point).
+        assert by_app[napp][2] < intensive_floor / 2
+
+
+def test_fig02_object_behavior(benchmark, fidelity):
+    fig = benchmark(fig02.compute, fidelity)
+    print("\n" + fig.render())
+    # Shape: objects inside one app scatter widely on both axes.
+    for app in ("mcf", "disparity", "mser"):
+        mpki_ratio, stall_range = object_spread(fig, app)
+        assert mpki_ratio > 5, app
+        assert stall_range > 10, app
+    # disparity's two major objects: one L (high stall), one B (low).
+    disp = {r[1]: r for r in fig.rows if r[0] == "disparity"}
+    assert disp["sad_cost"][5] == "L"
+    assert disp["img_pyramid"][5] == "B"

@@ -1,0 +1,30 @@
+"""Benchmarks regenerating the single-core evaluation (Figs. 8 and 9)."""
+
+from repro.experiments import fig08, fig09
+
+
+def test_fig08_memory_access_time(benchmark, fidelity):
+    fig = benchmark(fig08.compute, fidelity)
+    print("\n" + fig.render())
+    gm = fig.row("geomean")
+    cols = {c: gm[i] for i, c in enumerate(fig.columns)}
+    # Shape: RL fastest, LP slowest, HBM at or under DDR3, MOCA well
+    # under DDR3 and at or under Heter-App on average.
+    assert cols["Homogen-RL"] == min(v for k, v in cols.items() if k != "app")
+    assert cols["Homogen-LP"] == max(v for k, v in cols.items() if k != "app")
+    assert cols["Homogen-HBM"] <= 1.02
+    assert cols["MOCA"] < 0.8           # paper: ~0.49
+    assert cols["MOCA"] <= cols["Heter-App"]
+
+
+def test_fig09_memory_edp(benchmark, fidelity):
+    fig = benchmark(fig09.compute, fidelity)
+    print("\n" + fig.render())
+    gm = fig.row("geomean")
+    cols = {c: gm[i] for i, c in enumerate(fig.columns)}
+    # Shape: every heterogeneous option beats DDR3; MOCA beats Heter-App;
+    # RL is the least efficient of the fast systems.
+    assert cols["MOCA"] < 1.0
+    assert cols["MOCA"] < cols["Heter-App"]
+    assert cols["Homogen-RL"] > cols["Homogen-HBM"]
+    assert cols["Homogen-RL"] > cols["MOCA"]

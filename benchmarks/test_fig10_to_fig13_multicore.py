@@ -1,0 +1,52 @@
+"""Benchmarks regenerating the multicore evaluation (Figs. 10–13)."""
+
+from repro.experiments import fig10, fig11, fig12, fig13
+from repro.experiments.runner import geomean
+
+
+def _geomean_cols(fig):
+    gm = fig.row("geomean")
+    return {c: gm[i] for i, c in enumerate(fig.columns)}
+
+
+def test_fig10_memory_access_time(benchmark, fidelity):
+    fig = benchmark(fig10.compute, fidelity)
+    print("\n" + fig.render())
+    cols = _geomean_cols(fig)
+    assert cols["Homogen-RL"] < cols["Homogen-HBM"] < 1.0
+    assert cols["Homogen-LP"] > 1.2
+    # MOCA faster than Heter-App on average and in most sets.
+    assert cols["MOCA"] < cols["Heter-App"]
+    wins = sum(1 for r in fig.rows[:-1]
+               if r[fig.columns.index("MOCA")]
+               <= r[fig.columns.index("Heter-App")] * 1.01)
+    assert wins >= 8
+
+
+def test_fig11_memory_edp(benchmark, fidelity):
+    fig = benchmark(fig11.compute, fidelity)
+    print("\n" + fig.render())
+    cols = _geomean_cols(fig)
+    assert cols["MOCA"] < 1.0
+    assert cols["MOCA"] < cols["Heter-App"]
+    # Best-case improvement vs DDR3 should be deep (paper: up to 63%).
+    best = min(r[fig.columns.index("MOCA")] for r in fig.rows[:-1])
+    assert best < 0.65
+
+
+def test_fig12_system_performance(benchmark, fidelity):
+    fig = benchmark(fig12.compute, fidelity)
+    print("\n" + fig.render())
+    cols = _geomean_cols(fig)
+    assert cols["MOCA"] < 1.0                      # faster than DDR3
+    assert cols["MOCA"] <= cols["Heter-App"] * 1.02
+    assert cols["Homogen-LP"] > 1.0                # LP hurts system perf
+
+
+def test_fig13_system_edp(benchmark, fidelity):
+    fig = benchmark(fig13.compute, fidelity)
+    print("\n" + fig.render())
+    cols = _geomean_cols(fig)
+    assert cols["MOCA"] < 1.0
+    assert cols["MOCA"] <= cols["Heter-App"] * 1.02
+    assert cols["Homogen-LP"] > 1.0

@@ -1,0 +1,30 @@
+"""Benchmarks regenerating the configuration sweep (Figs. 14 and 15)."""
+
+from repro.experiments import fig14, fig15
+from repro.experiments.runner import geomean
+
+
+def test_fig14_access_time_across_configs(benchmark, fidelity):
+    fig = benchmark(fig14.compute, fidelity)
+    print("\n" + fig.render())
+    c1 = [r[1] for r in fig.rows]
+    # config1 (small RLDRAM): MOCA at or faster than Heter-App on the
+    # memory-intensive sets (paper Sec. VI-C).
+    assert geomean(c1) < 1.02
+    # As RLDRAM grows, Heter-App closes the performance gap: MOCA's
+    # advantage shrinks (ratios drift towards/above 1 from c1 to c3).
+    c3 = [r[3] for r in fig.rows]
+    assert geomean(c3) > geomean(c1) * 0.95
+
+
+def test_fig15_edp_across_configs(benchmark, fidelity):
+    fig = benchmark(fig15.compute, fidelity)
+    print("\n" + fig.render())
+    # MOCA stays more energy-efficient than Heter-App on config1/2.
+    # On config3 (768 MB RLDRAM) Heter-App parks everything premium and
+    # LPDDR's outsized standby advantage (the documented deviation) can
+    # flip individual sets; MOCA must stay within ~10% overall.
+    for col in (1, 2):
+        vals = [r[col] for r in fig.rows]
+        assert geomean(vals) < 1.0, fig.columns[col]
+    assert geomean([r[3] for r in fig.rows]) < 1.10

@@ -1,0 +1,41 @@
+"""Benchmarks for Fig. 16, the Sec. IV-E overhead, and the headline claims."""
+
+from repro.experiments import fig16, headline, overhead
+
+
+def test_fig16_segment_mpki(benchmark, fidelity):
+    fig = benchmark(fig16.compute, fidelity)
+    print("\n" + fig.render())
+    for row in fig.rows:
+        app, stack, code, glob, heap = row
+        if heap > 20:  # memory-intensive apps
+            assert max(stack, code, glob) < heap / 8, app
+
+
+def test_overhead(benchmark, fidelity):
+    fig = benchmark(overhead.compute, fidelity)
+    print("\n" + fig.render())
+    # Sanity bound only: profiling bookkeeping must stay the same order
+    # of magnitude as the bare cache pass (the paper's hardware-counter
+    # analogue costs 0.59%).  Wall-clock measurement is noisy when sweep
+    # workers share the machine, so the bound is deliberately loose.
+    for row in fig.rows:
+        assert row[3] < 300.0, row
+
+
+def test_headline_claims(benchmark, fidelity):
+    fig = benchmark(headline.compute, fidelity)
+    print("\n" + fig.render())
+    measured = {r[0]: r[2] for r in fig.rows}
+    # Direction must match the paper on every claim except the one
+    # documented deviation (Homogen-LP's memory EDP — see
+    # EXPERIMENTS.md): Table II's 6.5 mW/GB LPDDR2 standby power makes
+    # Homogen-LP more memory-EDP-efficient here than the paper shows.
+    deviated = "multi: mem EDP vs LP (best-case % better)"
+    for claim, value in measured.items():
+        if claim == deviated:
+            continue
+        assert value > 0, claim
+    # Magnitude: the two flagship deltas land in a sane band.
+    assert measured["single: mem access time vs DDR3 (avg % better)"] > 20
+    assert measured["multi: mem EDP vs DDR3 (best-case % better)"] > 30

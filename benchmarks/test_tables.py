@@ -1,0 +1,30 @@
+"""Benchmarks regenerating Tables I–III."""
+
+from repro.experiments import tables
+
+
+def test_table1_core_params(benchmark):
+    fig = benchmark(tables.table1)
+    print("\n" + fig.render())
+    assert fig.cell("ROB entries", "value") == 84
+    assert fig.cell("Load queue entries", "value") == 32
+
+
+def test_table2_device_params(benchmark):
+    fig = benchmark(tables.table2)
+    print("\n" + fig.render())
+    # Spot-check Table II values flow through to the report.
+    assert fig.cell("tRC (ns)", "RLDRAM3") == 8.0
+    assert fig.cell("tCK (ns)", "DDR3") == 1.07
+    assert fig.cell("device width (bits)", "HBM") == 128
+    assert fig.cell("standby (mW/GB)", "LPDDR2") == 6.5
+
+
+def test_table3_classification(benchmark, fidelity):
+    fig = benchmark(tables.table3, fidelity)
+    print("\n" + fig.render())
+    matches = sum(1 for r in fig.rows if r[3] == "yes")
+    # All ten classes must re-emerge at default fidelity; at tiny
+    # fidelity cold caches may flip the two smallest N apps.
+    required = 10 if fidelity.name != "tiny" else 8
+    assert matches >= required

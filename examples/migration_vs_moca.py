@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Allocation-time placement (MOCA) vs runtime page migration.
+
+The paper's Sec. IV-E argues MOCA's edge over migration-based schemes
+(related work [19], [33]-[36]): migration needs continuous monitoring and
+pays page-copy + TLB-shootdown costs, while MOCA decides placement once,
+at allocation.  This example measures that trade-off with the library's
+hotness-driven migrator across migration aggressiveness levels.
+
+Run:  python examples/migration_vs_moca.py
+"""
+
+from repro import HETER_CONFIG1
+from repro.sim.migration import run_single_migration
+from repro.sim.single import run_single
+from repro.vm.migration import MigrationConfig
+
+APPS = ("mcf", "lbm", "gcc")
+N = 60_000
+
+
+def main() -> None:
+    print(f"system: {HETER_CONFIG1.build().describe()}\n")
+    for app in APPS:
+        moca = run_single(app, HETER_CONFIG1, "moca", n_accesses=N)
+        heta = run_single(app, HETER_CONFIG1, "heter-app", n_accesses=N)
+        print(f"== {app} ==")
+        print(f"  {'policy':24s} {'mem time':>12s} {'exec':>12s} "
+              f"{'copies':>7s} {'overhead':>9s}")
+        print(f"  {'moca':24s} {moca.mem_access_cycles:12,d} "
+              f"{moca.exec_cycles:12,d} {'-':>7s} {'-':>9s}")
+        print(f"  {'heter-app':24s} {heta.mem_access_cycles:12,d} "
+              f"{heta.exec_cycles:12,d} {'-':>7s} {'-':>9s}")
+        for label, cfg in (
+            ("migration (lazy)", MigrationConfig(epoch_misses=8_000,
+                                                 max_migrations_per_epoch=16)),
+            ("migration (default)", MigrationConfig()),
+            ("migration (aggressive)", MigrationConfig(
+                epoch_misses=1_000, max_migrations_per_epoch=128)),
+        ):
+            m, stats = run_single_migration(app, HETER_CONFIG1, cfg,
+                                            n_accesses=N)
+            print(f"  {label:24s} {m.mem_access_cycles:12,d} "
+                  f"{m.exec_cycles:12,d} {stats.n_migrations:7,d} "
+                  f"{stats.overhead_cycles:9,d}")
+        print()
+    print("Takeaway: migration helps workloads with a small, stable hot")
+    print("set, but on pointer-chasing footprints it keeps paying copy")
+    print("costs for pages it can never fully cover — MOCA's offline")
+    print("classification places them correctly from the first touch.")
+
+
+if __name__ == "__main__":
+    main()

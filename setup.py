@@ -1,0 +1,16 @@
+"""Legacy setup shim for offline editable installs (see pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "MOCA: Memory Object Classification and Allocation in Heterogeneous "
+        "Memory Systems (IPDPS 2018) — trace-driven reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,144 @@
+"""Top-level command-line interface.
+
+Subcommands::
+
+    python -m repro apps                      # list the workload suite
+    python -m repro systems                   # list memory-system configs
+    python -m repro profile mcf               # offline profile of one app
+    python -m repro run mcf --system Heter-config1 --policy moca
+    python -m repro runmix 2L1B1N --system Heter-config1 --policy moca
+    python -m repro experiments fig08 ...     # forwards to repro.experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.moca.classify import classify_object, type_to_class_letter
+from repro.moca.profiler import profile_app
+from repro.sim.config import ALL_SYSTEMS
+from repro.sim.metrics import RunMetrics
+from repro.sim.multi import run_multi
+from repro.sim.single import run_single
+from repro.workloads.mixes import MIX_NAMES
+from repro.workloads.spec import APPS
+
+
+def _cmd_apps(_args) -> int:
+    print(f"{'app':12s} {'suite':9s} {'class':5s} {'heap MiB':>8s}  description")
+    for name, spec in APPS.items():
+        print(f"{name:12s} {spec.suite:9s} {spec.paper_class:5s} "
+              f"{spec.heap_footprint_bytes() >> 20:8d}  {spec.description}")
+    print(f"\nmulticore mixes: {', '.join(MIX_NAMES)}")
+    return 0
+
+
+def _cmd_systems(_args) -> int:
+    for name, cfg in ALL_SYSTEMS.items():
+        print(f"{name:14s} {cfg.build().describe()}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    p = profile_app(args.app, args.input, args.accesses)
+    print(f"{args.app} ({args.input}): LLC MPKI={p.app_mpki:.2f}, "
+          f"ROB stall/load-miss={p.app_stall_per_miss:.1f}")
+    print(f"{'object':26s} {'MiB':>7s} {'MPKI':>8s} {'stall/miss':>10s} class")
+    for prof in sorted(p.lut, key=lambda x: -x.llc_mpki):
+        cls = type_to_class_letter(classify_object(prof))
+        print(f"{prof.label:26s} {prof.size_bytes / (1 << 20):7.2f} "
+              f"{prof.llc_mpki:8.2f} {prof.stall_per_load_miss:10.1f} {cls}")
+    print("segments:", {k: round(v, 2) for k, v in p.segment_mpki.items()})
+    return 0
+
+
+def _print_metrics(m: RunMetrics) -> None:
+    print(f"system={m.system} policy={m.policy} workload={m.workload}")
+    print(f"  execution time     {m.exec_cycles:>14,d} cycles "
+          f"(IPC {m.ipc:.3f})")
+    print(f"  memory access time {m.mem_access_cycles:>14,d} cycles "
+          f"({m.n_requests:,} requests)")
+    print(f"  memory power       {m.mem_power_w:>14.3f} W  "
+          f"(row-hit rate {m.row_hit_rate:.1%})")
+    print(f"  memory EDP         {m.memory_edp:>14.6g}")
+    print(f"  system EDP         {m.system_edp:>14.6g}")
+
+
+def _emit(m: RunMetrics, as_json: bool) -> None:
+    if as_json:
+        import json
+        print(json.dumps(m.to_dict(), indent=1))
+    else:
+        _print_metrics(m)
+
+
+def _cmd_run(args) -> int:
+    cfg = ALL_SYSTEMS[args.system]
+    m = run_single(args.app, cfg, args.policy, n_accesses=args.accesses)
+    _emit(m, args.json)
+    return 0
+
+
+def _cmd_runmix(args) -> int:
+    cfg = ALL_SYSTEMS[args.system]
+    m = run_multi(args.mix, cfg, args.policy, n_accesses=args.accesses)
+    _emit(m, args.json)
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as exp_main
+    return exp_main(args.rest)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MOCA reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the workload suite").set_defaults(
+        fn=_cmd_apps)
+    sub.add_parser("systems", help="list system configs").set_defaults(
+        fn=_cmd_systems)
+
+    p = sub.add_parser("profile", help="offline-profile one application")
+    p.add_argument("app", choices=sorted(APPS))
+    p.add_argument("--input", default="train", choices=("train", "ref"))
+    p.add_argument("--accesses", type=int, default=120_000)
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("run", help="run one application on one system")
+    p.add_argument("app", choices=sorted(APPS))
+    p.add_argument("--system", default="Heter-config1",
+                   choices=sorted(ALL_SYSTEMS))
+    p.add_argument("--policy", default="moca",
+                   choices=("homogen", "heter-app", "moca"))
+    p.add_argument("--accesses", type=int, default=120_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("runmix", help="run a 4-app workload set")
+    p.add_argument("mix", choices=MIX_NAMES)
+    p.add_argument("--system", default="Heter-config1",
+                   choices=sorted(ALL_SYSTEMS))
+    p.add_argument("--policy", default="moca",
+                   choices=("homogen", "heter-app", "moca"))
+    p.add_argument("--accesses", type=int, default=60_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(fn=_cmd_runmix)
+
+    p = sub.add_parser("experiments",
+                       help="regenerate paper tables/figures")
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+    p.set_defaults(fn=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Set-associative LRU cache with write-back/write-allocate semantics.
+
+The tag store is a list of per-set ``dict``s mapping tag → dirty flag.
+Python dicts preserve insertion order, so the first key of a set is its
+LRU line; an access re-inserts its tag to move it to MRU position.  This
+is the fastest pure-Python LRU available (no per-access allocation beyond
+the dict churn), per the HPC guide's "measure, then optimize the
+bottleneck" rule — cache filtering dominates trace preparation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_power_of_two
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A victim pushed out by a fill."""
+
+    line_addr: int
+    dirty: bool
+
+
+class SetAssocCache:
+    """One level of set-associative cache.
+
+    Args:
+        size_bytes: Total capacity.
+        assoc: Ways per set.
+        line_bytes: Line size (default 64, Table I).
+        name: Label for introspection.
+    """
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int = 64,
+                 name: str = "cache"):
+        check_power_of_two("size_bytes", size_bytes)
+        check_power_of_two("assoc", assoc)
+        check_power_of_two("line_bytes", line_bytes)
+        n_sets = size_bytes // (assoc * line_bytes)
+        if n_sets < 1:
+            raise ValueError("cache smaller than one set")
+        check_power_of_two("derived set count", n_sets)
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.name = name
+        self.n_sets = n_sets
+        self._set_mask = n_sets - 1
+        self._line_shift = (line_bytes - 1).bit_length()
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(n_sets)]
+        self.n_hits = 0
+        self.n_misses = 0
+
+    def line_of(self, addr: int) -> int:
+        """Line-aligned address containing ``addr``."""
+        return (addr >> self._line_shift) << self._line_shift
+
+    def access(self, addr: int, is_write: bool) -> tuple[bool, EvictedLine | None]:
+        """Access the byte address; returns ``(hit, evicted_or_None)``.
+
+        A miss allocates the line (write-allocate); the LRU victim, if
+        any, is returned so the caller can propagate dirty writebacks.
+        """
+        line = addr >> self._line_shift
+        s = self._sets[line & self._set_mask]
+        tag = line >> 0  # full line number doubles as tag (set bits included, harmless)
+        if tag in s:
+            dirty = s.pop(tag)
+            s[tag] = dirty or is_write
+            self.n_hits += 1
+            return True, None
+        self.n_misses += 1
+        evicted = None
+        if len(s) >= self.assoc:
+            victim_tag = next(iter(s))
+            victim_dirty = s.pop(victim_tag)
+            evicted = EvictedLine(victim_tag << self._line_shift, victim_dirty)
+        s[tag] = is_write
+        return False, evicted
+
+    def fill(self, addr: int, dirty: bool = False) -> EvictedLine | None:
+        """Insert a line without counting a hit/miss (e.g. L1 writeback into L2)."""
+        line = addr >> self._line_shift
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            prev = s.pop(line)
+            s[line] = prev or dirty
+            return None
+        evicted = None
+        if len(s) >= self.assoc:
+            victim_tag = next(iter(s))
+            victim_dirty = s.pop(victim_tag)
+            evicted = EvictedLine(victim_tag << self._line_shift, victim_dirty)
+        s[line] = dirty
+        return evicted
+
+    def contains(self, addr: int) -> bool:
+        """Presence probe without LRU side effects."""
+        line = addr >> self._line_shift
+        return line in self._sets[line & self._set_mask]
+
+    @property
+    def n_accesses(self) -> int:
+        return self.n_hits + self.n_misses
+
+    @property
+    def miss_rate(self) -> float:
+        n = self.n_accesses
+        return self.n_misses / n if n else 0.0
+
+    def reset_stats(self) -> None:
+        self.n_hits = 0
+        self.n_misses = 0
+
+    def flush(self) -> list[EvictedLine]:
+        """Drop all lines, returning dirty victims (used at trace end)."""
+        victims = []
+        for s in self._sets:
+            for tag, dirty in s.items():
+                if dirty:
+                    victims.append(EvictedLine(tag << self._line_shift, True))
+            s.clear()
+        return victims

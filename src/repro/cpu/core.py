@@ -1,0 +1,239 @@
+"""Trace-driven interval core model with ROB-head stall accounting.
+
+The model replays an LLC miss stream (``repro.cpu.hierarchy``) against a
+memory system.  Between misses the core retires instructions at a steady
+IPC; around misses it behaves like the paper's OoO core (Table I):
+
+* independent misses overlap while they fit in the reorder-buffer window
+  and there are MSHRs left — an *episode* of memory-level parallelism;
+* a dependent miss (serial pointer-chase step) cannot enter the episode
+  of its producer and starts a new one;
+* the ROB head blocks, in program order, on each load miss that has not
+  completed — exactly the "ROB head stall cycles per load miss" metric
+  the paper profiles (Sec. III-A, after Mutlu et al.).
+
+The episode structure is what makes object-level classification
+meaningful: a high-MPKI object whose misses overlap (streaming) exposes
+few stall cycles per miss and wants bandwidth; a chase object exposes the
+full memory latency on every miss and wants RLDRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cpu.hierarchy import (
+    KIND_LOAD,
+    KIND_PREFETCH,
+    KIND_STORE,
+    KIND_WRITEBACK,
+    MissStream,
+)
+from repro.memctrl.request import MemRequest
+from repro.memctrl.system import MemorySystem
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Interval-core parameters (defaults from paper Table I)."""
+
+    ipc: float = 1.0
+    rob_size: int = 84
+    lq_size: int = 32
+    mshr: int = 20
+    #: Cycles of non-demand (prefetch/writeback) completion backlog the
+    #: core may run ahead of — a finite prefetch/write queue.  Without
+    #: the bound, background traffic would pile up in the bank timings
+    #: indefinitely while the core races ahead.
+    backlog: int = 256
+
+    @property
+    def max_overlap(self) -> int:
+        """Maximum demand misses in flight at once."""
+        return min(self.mshr, self.lq_size)
+
+
+@dataclass
+class CoreResult:
+    """Timing outcome of one core's full trace replay."""
+
+    core_id: int
+    cycles: int
+    total_instructions: int
+    n_demand: int
+    n_load_misses: int
+    n_writebacks: int
+    n_prefetches: int
+    n_episodes: int
+    mem_access_cycles: int
+    load_stall_cycles: int
+    stall_by_obj: dict[int, int] = field(default_factory=dict)
+    load_misses_by_obj: dict[int, int] = field(default_factory=dict)
+    demand_by_obj: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.total_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def stall_per_load_miss(self) -> float:
+        """Whole-program ROB head stall cycles per load miss."""
+        if not self.n_load_misses:
+            return 0.0
+        return self.load_stall_cycles / self.n_load_misses
+
+    def object_stall_per_miss(self, obj_id: int) -> float:
+        n = self.load_misses_by_obj.get(obj_id, 0)
+        if not n:
+            return 0.0
+        return self.stall_by_obj.get(obj_id, 0) / n
+
+
+class InOrderWindowCore:
+    """Steppable per-core replay state (multicore drivers interleave cores).
+
+    Args:
+        stream: LLC miss stream for this core's application.
+        groups: Per-record channel-group index (from the page mapping).
+        gaddrs: Per-record group-local physical line address.
+        params: Core parameters.
+        core_id: Identifier stamped into requests.
+        start_cycle: Initial cycle (0 unless modelling staggered starts).
+        inst_prev: Instruction count already retired before this stream
+            slice (used by epoch-sliced replays, e.g. page migration).
+    """
+
+    def __init__(self, stream: MissStream, groups: np.ndarray, gaddrs: np.ndarray,
+                 params: CoreParams | None = None, core_id: int = 0,
+                 start_cycle: int = 0, inst_prev: int = 0):
+        if len(groups) != len(stream) or len(gaddrs) != len(stream):
+            raise ValueError("translation arrays must match the miss stream length")
+        self.params = params or CoreParams()
+        self.core_id = core_id
+        self.total_instructions = stream.total_instructions
+        # Plain-int lists: the episode loop is dict/int-bound, numpy scalar
+        # extraction would dominate (HPC guide: profile-driven choice).
+        self._inst = stream.inst.tolist()
+        self._dep = stream.dep.tolist()
+        self._kind = stream.kind.tolist()
+        self._obj = stream.obj_id.tolist()
+        self._group = groups.tolist()
+        self._gaddr = gaddrs.tolist()
+        self._n = len(self._inst)
+        self._idx = 0
+        self._cycle = start_cycle
+        self._inst_prev = inst_prev
+        self.result = CoreResult(
+            core_id=core_id, cycles=start_cycle,
+            total_instructions=self.total_instructions,
+            n_demand=0, n_load_misses=0, n_writebacks=0, n_prefetches=0,
+            n_episodes=0, mem_access_cycles=0, load_stall_cycles=0,
+        )
+
+    # ---- stepping interface -------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._idx >= self._n
+
+    def peek_next_issue(self) -> int:
+        """Earliest cycle at which this core's next episode head issues."""
+        if self.finished:
+            return 1 << 62
+        gap = self._inst[self._idx] - self._inst_prev
+        return self._cycle + int(gap / self.params.ipc)
+
+    def run_episode(self, memsys: MemorySystem) -> int:
+        """Issue one MLP episode against ``memsys``; returns new core cycle."""
+        p = self.params
+        inst, dep, kind = self._inst, self._dep, self._kind
+        obj, group, gaddr = self._obj, self._group, self._gaddr
+        i = self._idx
+        head_inst = inst[i]
+        issue0 = self._cycle + int((head_inst - self._inst_prev) / p.ipc)
+
+        # Gather the episode: head record plus every subsequent record that
+        # fits the ROB window, has an MSHR, and is not a dependent miss.
+        # Non-demand records (writebacks, prefetches) ride along but the
+        # total batch is bounded — queues are finite and the multicore
+        # driver interleaves cores at episode granularity.
+        batch_cap = 4 * p.max_overlap
+        j = i
+        n_demand = 0
+        batch: list[MemRequest] = []
+        members: list[int] = []
+        while j < self._n:
+            if len(members) >= batch_cap:
+                break
+            k = kind[j]
+            is_demand = k == KIND_LOAD or k == KIND_STORE
+            if j > i and is_demand:
+                if dep[j]:
+                    break
+                if inst[j] - head_inst > p.rob_size:
+                    break
+                if n_demand >= p.max_overlap:
+                    break
+            issue = issue0 + int((inst[j] - head_inst) / p.ipc)
+            batch.append(MemRequest(
+                group=group[j], gaddr=gaddr[j], issue_cycle=issue,
+                is_write=(k == KIND_STORE or k == KIND_WRITEBACK),
+                demand=is_demand,
+                obj_id=obj[j], core_id=self.core_id,
+            ))
+            members.append(j)
+            n_demand += is_demand
+            j += 1
+
+        memsys.service_batch(batch)
+
+        # Program-order ROB-head accounting over demand loads.
+        res = self.result
+        t = issue0
+        for req, k in zip(batch, (kind[m] for m in members)):
+            if k == KIND_WRITEBACK:
+                res.n_writebacks += 1
+                continue
+            if k == KIND_PREFETCH:
+                res.n_prefetches += 1
+                continue
+            res.n_demand += 1
+            res.mem_access_cycles += req.done_cycle - req.issue_cycle
+            res.demand_by_obj[req.obj_id] = res.demand_by_obj.get(req.obj_id, 0) + 1
+            if k == KIND_LOAD:
+                stall = req.done_cycle - max(t, req.issue_cycle)
+                if stall < 0:
+                    stall = 0
+                if req.done_cycle > t:
+                    t = req.done_cycle
+                res.n_load_misses += 1
+                res.load_stall_cycles += stall
+                res.stall_by_obj[req.obj_id] = res.stall_by_obj.get(req.obj_id, 0) + stall
+                res.load_misses_by_obj[req.obj_id] = (
+                    res.load_misses_by_obj.get(req.obj_id, 0) + 1
+                )
+
+        res.n_episodes += 1
+        last = members[-1]
+        tail_done = max(r.done_cycle for r in batch)
+        self._cycle = max(t, issue0 + int((inst[last] - head_inst) / p.ipc),
+                          tail_done - p.backlog)
+        self._inst_prev = inst[last]
+        self._idx = j
+        if self.finished:
+            tail = self.total_instructions - self._inst_prev
+            self._cycle += int(tail / p.ipc)
+            res.cycles = self._cycle
+        return self._cycle
+
+    def run_to_completion(self, memsys: MemorySystem) -> CoreResult:
+        """Single-core convenience: drain the whole stream."""
+        if self._n == 0:
+            self._cycle += int(self.total_instructions / self.params.ipc)
+            self.result.cycles = self._cycle
+            return self.result
+        while not self.finished:
+            self.run_episode(memsys)
+        return self.result

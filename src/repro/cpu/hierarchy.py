@@ -1,0 +1,259 @@
+"""L1 + unified L2 cache hierarchy: access trace → LLC miss stream.
+
+Cache behaviour does not depend on the memory backend, so the expensive
+filtering pass runs once per (application, input) and the resulting
+:class:`MissStream` is replayed against every memory system under study —
+the same economy gem5 users get from warmed checkpoints.
+
+Table I parameters: 64 KB split L1 (we model the D-side; instruction
+fetches are folded into the code segment's accesses), 512 KB 16-way
+unified L2, 64 B lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cpu.cache import SetAssocCache
+
+#: Miss-record kinds.
+KIND_LOAD = 0
+KIND_STORE = 1
+KIND_WRITEBACK = 2
+KIND_PREFETCH = 3
+
+#: Sentinel object ids for non-heap segments (paper Sec. VI-D).
+SEG_STACK = -1
+SEG_CODE = -2
+SEG_GLOBAL = -3
+
+
+@dataclass
+class MissStream:
+    """LLC miss/writeback stream as parallel numpy arrays.
+
+    Attributes:
+        inst: Cumulative retired-instruction count at each record.
+        vline: Line-aligned virtual address.
+        obj_id: Owning memory object (>=0) or segment sentinel (<0).
+        dep: True when the miss depends on the previous miss (serial
+            pointer-chase step) and therefore cannot overlap with it.
+        kind: KIND_LOAD / KIND_STORE / KIND_WRITEBACK.
+        total_instructions: Trace length in instructions.
+    """
+
+    inst: np.ndarray
+    vline: np.ndarray
+    obj_id: np.ndarray
+    dep: np.ndarray
+    kind: np.ndarray
+    total_instructions: int
+
+    def __len__(self) -> int:
+        return len(self.inst)
+
+    def slice(self, start: int, stop: int) -> "MissStream":
+        """A view of records [start, stop) sharing the parent's arrays.
+
+        ``total_instructions`` becomes the last record's instruction
+        count, so sliced replays add no compute tail except on the final
+        slice (epoch-based drivers handle the tail themselves).
+        """
+        total = int(self.inst[stop - 1]) if stop > start else 0
+        return MissStream(
+            inst=self.inst[start:stop],
+            vline=self.vline[start:stop],
+            obj_id=self.obj_id[start:stop],
+            dep=self.dep[start:stop],
+            kind=self.kind[start:stop],
+            total_instructions=total,
+        )
+
+    @property
+    def demand_mask(self) -> np.ndarray:
+        return self.kind <= KIND_STORE
+
+    def mpki(self) -> float:
+        """Demand LLC misses per kilo-instruction for the whole stream."""
+        if self.total_instructions == 0:
+            return 0.0
+        return int(self.demand_mask.sum()) * 1000.0 / self.total_instructions
+
+
+@dataclass
+class CacheStats:
+    """Aggregate + per-object results of the filtering pass."""
+
+    total_instructions: int
+    l1_hits: int
+    l1_misses: int
+    l2_hits: int
+    l2_misses: int
+    n_writebacks: int
+    #: obj_id → [accesses, l2 demand misses]
+    per_object: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def l2_mpki(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.l2_misses * 1000.0 / self.total_instructions
+
+    def object_mpki(self, obj_id: int) -> float:
+        if self.total_instructions == 0 or obj_id not in self.per_object:
+            return 0.0
+        return self.per_object[obj_id][1] * 1000.0 / self.total_instructions
+
+
+class CacheHierarchy:
+    """Filters an access trace through L1D + L2, emitting the miss stream."""
+
+    def __init__(self, l1_size: int = 64 * 1024, l1_assoc: int = 2,
+                 l2_size: int = 512 * 1024, l2_assoc: int = 16,
+                 line_bytes: int = 64, prefetcher=None):
+        self.l1 = SetAssocCache(l1_size, l1_assoc, line_bytes, name="L1D")
+        self.l2 = SetAssocCache(l2_size, l2_assoc, line_bytes, name="L2")
+        self.line_bytes = line_bytes
+        self.prefetcher = prefetcher
+        self.n_prefetches = 0
+        self._line_shift = (line_bytes - 1).bit_length()
+
+    def filter_trace(self, trace: "AccessTrace", warmup_frac: float = 0.2,
+                     ) -> tuple[MissStream, CacheStats]:
+        """Run every access through the hierarchy.
+
+        The first ``warmup_frac`` of the trace warms the caches without
+        contributing statistics or miss records — the stand-in for the
+        paper's fast-forward to SimPoints before measurement windows.
+        Writebacks of dirty L2 victims become KIND_WRITEBACK records whose
+        object is resolved from the victim's address via the trace's
+        object map (vectorized at the end).
+        """
+        if not 0.0 <= warmup_frac < 1.0:
+            raise ValueError("warmup_frac must be in [0, 1)")
+        warm_until = int(len(trace) * warmup_frac)
+        l1, l2 = self.l1, self.l2
+        shift = self._line_shift
+        # tolist() turns the numpy columns into plain ints once; iterating
+        # numpy scalars is ~10x slower in this dict-heavy loop.
+        insts = trace.inst.tolist()
+        vaddrs = trace.vaddr.tolist()
+        writes = trace.is_write.tolist()
+        objs = trace.obj_id.tolist()
+        deps = trace.dep.tolist()
+
+        out_inst: list[int] = []
+        out_vline: list[int] = []
+        out_obj: list[int] = []
+        out_dep: list[bool] = []
+        out_kind: list[int] = []
+        wb_positions: list[int] = []  # indices into out_* needing obj resolution
+
+        per_object: dict[int, list[int]] = {}
+        n_writebacks = 0
+        inst_offset = int(insts[warm_until - 1]) if warm_until else 0
+        # Lines brought in by the prefetcher and not yet consumed; a
+        # demand hit on one advances the stream (runahead on hit).
+        pf_lines: set[int] = set()
+
+        def _issue_prefetches(obj: int, line: int, inst: int) -> None:
+            for pf_addr in self.prefetcher.on_miss(obj, line):
+                if pf_addr < 0 or l2.contains(pf_addr):
+                    continue
+                # Never run past the owning region: a prefetch into a
+                # guard page or another object would touch memory the OS
+                # has not mapped for this stream.
+                region = trace.layout.by_id(obj)
+                if not (region.vbase <= pf_addr <= region.vend - 64):
+                    continue
+                pf_evicted = l2.fill(pf_addr)
+                pf_line = (pf_addr >> shift) << shift
+                pf_lines.add(pf_line)
+                self.n_prefetches += 1
+                out_inst.append(inst - inst_offset)
+                out_vline.append(pf_line)
+                out_obj.append(obj)
+                out_dep.append(False)
+                out_kind.append(KIND_PREFETCH)
+                nonlocal n_writebacks
+                if pf_evicted is not None and pf_evicted.dirty:
+                    n_writebacks += 1
+                    out_inst.append(inst - inst_offset)
+                    out_vline.append(pf_evicted.line_addr)
+                    out_obj.append(0)
+                    out_dep.append(False)
+                    out_kind.append(KIND_WRITEBACK)
+                    wb_positions.append(len(out_obj) - 1)
+
+        for i, (inst, vaddr, is_write, obj, dep) in enumerate(
+                zip(insts, vaddrs, writes, objs, deps)):
+            if i < warm_until:
+                # Warm the tag stores only; no statistics, no records.
+                hit, _ = l1.access(vaddr, is_write)
+                if not hit:
+                    l2.access(vaddr, is_write)
+                if i == warm_until - 1:
+                    l1.reset_stats()
+                    l2.reset_stats()
+                continue
+            stats = per_object.get(obj)
+            if stats is None:
+                stats = per_object[obj] = [0, 0]
+            stats[0] += 1
+            hit, _ = l1.access(vaddr, is_write)
+            if hit:
+                continue
+            # L1 miss: look up L2.  (L1 victims are clean towards L2 in this
+            # model: stores mark dirty in L1 and the dirtiness is propagated
+            # when the line is re-fetched; full L1→L2 writeback modelling
+            # changes LLC MPKI by <1% at these sizes and is omitted.)
+            l2_hit, evicted = l2.access(vaddr, is_write)
+            if l2_hit:
+                if self.prefetcher is not None:
+                    line = (vaddr >> shift) << shift
+                    if line in pf_lines:
+                        pf_lines.discard(line)
+                        _issue_prefetches(obj, line, inst)
+                continue
+            stats[1] += 1
+            line = (vaddr >> shift) << shift
+            out_inst.append(inst - inst_offset)
+            out_vline.append(line)
+            out_obj.append(obj)
+            out_dep.append(dep)
+            out_kind.append(KIND_STORE if is_write else KIND_LOAD)
+            if self.prefetcher is not None:
+                _issue_prefetches(obj, line, inst)
+            if evicted is not None and evicted.dirty:
+                n_writebacks += 1
+                out_inst.append(inst - inst_offset)
+                out_vline.append(evicted.line_addr)
+                out_obj.append(0)  # placeholder, resolved below
+                out_dep.append(False)
+                out_kind.append(KIND_WRITEBACK)
+                wb_positions.append(len(out_obj) - 1)
+
+        total_inst = (int(insts[-1]) - inst_offset) if insts else 0
+        stream = MissStream(
+            inst=np.asarray(out_inst, dtype=np.int64),
+            vline=np.asarray(out_vline, dtype=np.int64),
+            obj_id=np.asarray(out_obj, dtype=np.int32),
+            dep=np.asarray(out_dep, dtype=bool),
+            kind=np.asarray(out_kind, dtype=np.int8),
+            total_instructions=total_inst,
+        )
+        if wb_positions:
+            pos = np.asarray(wb_positions, dtype=np.int64)
+            stream.obj_id[pos] = trace.resolve_objects(stream.vline[pos])
+        stats = CacheStats(
+            total_instructions=total_inst,
+            l1_hits=l1.n_hits,
+            l1_misses=l1.n_misses,
+            l2_hits=l2.n_hits,
+            l2_misses=l2.n_misses,
+            n_writebacks=n_writebacks,
+            per_object=per_object,
+        )
+        return stream, stats

@@ -1,0 +1,58 @@
+"""Per-table/figure experiment harnesses.
+
+Every table and figure in the paper's evaluation has a module here that
+regenerates it from the simulation stack:
+
+==========  ===============================================================
+Module      Paper artefact
+==========  ===============================================================
+``fig01``   Fig. 1 — application-level LLC MPKI vs ROB stall scatter
+``fig02``   Fig. 2 — object-level scatter per application
+``table2``  Table II — memory module timing/power parameters
+``table3``  Table III — application classification (L/B/N)
+``fig08``   Fig. 8 — single-core normalized memory access time
+``fig09``   Fig. 9 — single-core normalized memory EDP
+``fig10``   Fig. 10 — multicore normalized memory access time
+``fig11``   Fig. 11 — multicore normalized memory EDP
+``fig12``   Fig. 12 — multicore normalized system performance
+``fig13``   Fig. 13 — multicore normalized system EDP
+``fig14``   Fig. 14 — memory access time across configs 1–3 (vs Heter-App)
+``fig15``   Fig. 15 — memory EDP across configs 1–3 (vs Heter-App)
+``fig16``   Fig. 16 — stack/code segment L2 MPKI
+``overhead``Sec. IV-E — profiling overhead
+``headline``Abstract / Sec. VI headline claims, recomputed
+==========  ===============================================================
+
+All modules share :mod:`repro.experiments.runner`'s memoized sweeps, so
+regenerating several figures costs one simulation pass.  Run any of them
+from the command line::
+
+    python -m repro.experiments fig08
+    python -m repro.experiments all --fidelity tiny
+"""
+
+from repro.experiments.runner import (
+    Fidelity,
+    TINY,
+    DEFAULT,
+    FULL,
+    FigureResult,
+    single_sweep,
+    multi_sweep,
+    config_sweep,
+    SINGLE_SYSTEMS,
+    MULTI_SYSTEMS,
+)
+
+__all__ = [
+    "Fidelity",
+    "TINY",
+    "DEFAULT",
+    "FULL",
+    "FigureResult",
+    "single_sweep",
+    "multi_sweep",
+    "config_sweep",
+    "SINGLE_SYSTEMS",
+    "MULTI_SYSTEMS",
+]

@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments fig08
+    python -m repro.experiments table3 headline
+    python -m repro.experiments all --fidelity tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import runner as _runner
+from repro.experiments import (
+    devices, fig01, fig02, fig08, fig09, fig10, fig11, fig12, fig13,
+    fig14, fig15, fig16, headline, overhead, tables, taillat,
+    thresholds_sweep, variance,
+)
+
+EXPERIMENTS = {
+    "fig01": fig01.compute,
+    "fig02": fig02.compute,
+    "table1": lambda fidelity: tables.table1(),
+    "table2": lambda fidelity: tables.table2(),
+    "table3": tables.table3,
+    "fig08": fig08.compute,
+    "fig09": fig09.compute,
+    "fig10": fig10.compute,
+    "fig11": fig11.compute,
+    "fig12": fig12.compute,
+    "fig13": fig13.compute,
+    "fig14": fig14.compute,
+    "fig15": fig15.compute,
+    "fig16": fig16.compute,
+    "overhead": overhead.compute,
+    "headline": headline.compute,
+    "thresholds": thresholds_sweep.compute,
+    "devices": devices.compute,
+    "variance": variance.compute,
+    "taillat": taillat.compute,
+}
+
+#: The paper's own artefacts — what ``all`` regenerates.  The remaining
+#: ids (thresholds, variance, ...) are extensions; run them by name or
+#: via ``extras``.
+PAPER_SET = (
+    "fig01", "fig02", "table1", "table2", "table3",
+    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "overhead", "headline",
+)
+EXTRAS_SET = tuple(sorted(set(EXPERIMENTS) - set(PAPER_SET)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the MOCA paper's tables and figures.")
+    parser.add_argument("which", nargs="+",
+                        choices=sorted(EXPERIMENTS) + ["all", "extras"],
+                        help="experiment id(s), 'all' (paper artefacts) "
+                             "or 'extras' (ablation studies)")
+    parser.add_argument("--fidelity", default="default",
+                        choices=sorted(_runner.FIDELITIES),
+                        help="trace-length preset (default: default)")
+    parser.add_argument("--bars", action="store_true",
+                        help="render ASCII bar charts instead of tables")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="also write JSON artefacts into DIR")
+    args = parser.parse_args(argv)
+
+    fidelity = _runner.FIDELITIES[args.fidelity]
+    names: list[str] = []
+    for token in args.which:
+        if token == "all":
+            names.extend(PAPER_SET)
+        elif token == "extras":
+            names.extend(EXTRAS_SET)
+        else:
+            names.append(token)
+    saved = []
+    for name in names:
+        t0 = time.time()
+        fig = EXPERIMENTS[name](fidelity)
+        print(fig.render_bars() if args.bars else fig.render())
+        print(f"[{name}: {time.time() - t0:.1f}s]")
+        print()
+        if args.save:
+            from repro.experiments.store import save_figure
+            save_figure(fig, args.save)
+            saved.append(fig.figure_id)
+    if args.save and saved:
+        from repro.experiments.store import write_manifest
+        write_manifest(args.save, fidelity, saved)
+        print(f"artefacts written to {args.save}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

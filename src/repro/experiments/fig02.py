@@ -1,0 +1,55 @@
+"""Fig. 2 — object-level memory access behaviour per application.
+
+One row per heap memory object: LLC MPKI, ROB stall cycles per load
+miss, size, and the Fig. 5 classification.  This is the paper's core
+observation — objects inside one application scatter widely across both
+metrics, so application-level placement wastes the heterogeneity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import DEFAULT, Fidelity, FigureResult
+from repro.moca.classify import classify_object, type_to_class_letter
+from repro.moca.profiler import profile_app
+from repro.workloads.spec import APPS
+
+
+def compute(fidelity: Fidelity = DEFAULT,
+            apps: tuple[str, ...] | None = None) -> FigureResult:
+    """Per-object profile rows for the selected (default: all) apps."""
+    fig = FigureResult(
+        figure_id="fig02",
+        title="Object-level LLC MPKI / ROB stall scatter",
+        columns=["app", "object", "size_mib", "llc_mpki",
+                 "rob_stall_per_miss", "class"],
+    )
+    for name in (apps or tuple(APPS)):
+        p = profile_app(name, "train", fidelity.n_single)
+        for prof in sorted(p.lut, key=lambda x: -x.llc_mpki):
+            fig.add_row(
+                name,
+                prof.label.split(".", 1)[-1],
+                round(prof.size_bytes / (1 << 20), 2),
+                round(prof.llc_mpki, 2),
+                round(prof.stall_per_load_miss, 1),
+                type_to_class_letter(classify_object(prof)),
+            )
+    fig.notes.append(
+        "Sizes are the 1:8-scaled working sets (DESIGN.md §6); circle "
+        "size in the paper's plot corresponds to size_mib here.")
+    return fig
+
+
+def object_spread(fig: FigureResult, app: str) -> tuple[float, float]:
+    """(max/min MPKI ratio, stall range) across one app's hot objects —
+    a scalar summary of the within-app heterogeneity Fig. 2 shows."""
+    rows = [r for r in fig.rows if r[0] == app and r[3] > 0.1]
+    if len(rows) < 2:
+        return 1.0, 0.0
+    mpkis = [r[3] for r in rows]
+    stalls = [r[4] for r in rows]
+    return max(mpkis) / min(mpkis), max(stalls) - min(stalls)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(compute().render())

@@ -1,0 +1,43 @@
+"""Fig. 10 — multicore memory access time, normalized to Homogen-DDR3.
+
+One row per 4-app workload set.  Expected shape: RL and HBM fastest,
+LP slowest, MOCA faster than Heter-App in every set (paper average:
+-26%), with the largest gaps in sets that contend for RLDRAM/HBM.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    DEFAULT,
+    Fidelity,
+    FigureResult,
+    geomean,
+    multi_sweep,
+)
+from repro.experiments.fig08 import SYSTEM_LABELS
+from repro.workloads.mixes import MIX_NAMES
+
+
+def compute(fidelity: Fidelity = DEFAULT, metric: str = "mem_access_cycles",
+            figure_id: str = "fig10",
+            title: str = "Multicore memory access time "
+                         "(normalized to Homogen-DDR3)") -> FigureResult:
+    """Shared implementation for the four multicore figures."""
+    sweep = multi_sweep(fidelity)
+    fig = FigureResult(figure_id=figure_id, title=title,
+                       columns=["mix"] + SYSTEM_LABELS)
+    for mix in MIX_NAMES:
+        base = getattr(sweep[(mix, "Homogen-DDR3")], metric)
+        fig.add_row(mix, *(
+            round(getattr(sweep[(mix, label)], metric) / base, 3)
+            for label in SYSTEM_LABELS
+        ))
+    fig.add_row("geomean", *(
+        round(geomean([r[1 + i] for r in fig.rows]), 3)
+        for i in range(len(SYSTEM_LABELS))
+    ))
+    return fig
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(compute().render())

@@ -1,0 +1,26 @@
+"""Fig. 12 — multicore system performance, normalized to Homogen-DDR3.
+
+System performance is workload execution time (the slowest core's
+cycles).  Expected shape: MOCA close to Homogen-HBM/RL; ~10% better
+than Heter-App on average (Sec. VI-B).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10 import compute as _compute
+from repro.experiments.runner import DEFAULT, Fidelity, FigureResult
+
+
+def compute(fidelity: Fidelity = DEFAULT) -> FigureResult:
+    fig = _compute(
+        fidelity, metric="exec_cycles", figure_id="fig12",
+        title="Multicore execution time (normalized to Homogen-DDR3; "
+              "lower is better)")
+    fig.notes.append(
+        "Paper: MOCA stays close to Homogen-HBM/RL performance and is "
+        "~10% faster than Heter-App (Sec. VI-B).")
+    return fig
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(compute().render())

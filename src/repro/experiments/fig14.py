@@ -1,0 +1,50 @@
+"""Fig. 14 — memory access time across heterogeneous configs 1–3.
+
+Five workload sets x three configurations, application-level vs
+object-level allocation, normalized to Heter-App on the same config
+(the paper normalizes these two figures to Heter-App results).
+
+Expected shape (Sec. VI-C): with the small-RLDRAM config1, MOCA beats
+Heter-App on the memory-intensive sets; as RLDRAM grows (config2/3),
+Heter-App catches up or wins on raw access time — but keeps paying for
+it in EDP (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    DEFAULT,
+    Fidelity,
+    FigureResult,
+    SWEEP_CONFIGS,
+    SWEEP_MIXES,
+    config_sweep,
+)
+
+
+def compute(fidelity: Fidelity = DEFAULT, metric: str = "mem_access_cycles",
+            figure_id: str = "fig14",
+            title: str = "Memory access time across configs "
+                         "(normalized to Heter-App per config)") -> FigureResult:
+    sweep = config_sweep(fidelity)
+    fig = FigureResult(
+        figure_id=figure_id, title=title,
+        columns=["mix"] + [f"moca/{c.name.split('-')[1]}"
+                           for c in SWEEP_CONFIGS],
+    )
+    for mix in SWEEP_MIXES:
+        cells = []
+        for config in SWEEP_CONFIGS:
+            het = getattr(sweep[(config.name, mix, "heter-app")], metric)
+            moc = getattr(sweep[(config.name, mix, "moca")], metric)
+            cells.append(round(moc / het, 3))
+        fig.add_row(mix, *cells)
+    fig.notes.append(
+        "Values are MOCA normalized to Heter-App on the same config "
+        "(<1 means MOCA wins). config1 = 256MB RL + 768MB HBM + 1GB LP; "
+        "config2 = 512/512/1024; config3 = 768/768/512 (paper-scale MB).")
+    return fig
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(compute().render())

@@ -1,0 +1,24 @@
+"""Fig. 15 — memory EDP across heterogeneous configs 1–3.
+
+Same sweep as Fig. 14, EDP metric.  Expected shape (Sec. VI-C): MOCA's
+energy-efficiency edge grows with RLDRAM capacity, because Heter-App
+fills the bigger (power-hungry) RLDRAM with whole applications while
+MOCA promotes only the hot objects; config1 remains the most efficient
+overall, which is why the paper selects it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig14 import compute as _compute
+from repro.experiments.runner import DEFAULT, Fidelity, FigureResult
+
+
+def compute(fidelity: Fidelity = DEFAULT) -> FigureResult:
+    fig = _compute(
+        fidelity, metric="memory_edp", figure_id="fig15",
+        title="Memory EDP across configs (normalized to Heter-App per config)")
+    return fig
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(compute().render())

@@ -1,0 +1,67 @@
+"""Sec. IV-E — profiling overhead.
+
+The paper measures a 0.59% average slowdown from running applications
+with object profiling enabled.  The reproduction's analogue: time the
+cache-filtering pass with and without per-object statistics collection
+(the LUT updates are the profiler's only per-access work), and report
+the relative slowdown.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cpu.hierarchy import CacheHierarchy
+from repro.experiments.runner import DEFAULT, Fidelity, FigureResult
+from repro.workloads.inputs import build_app_trace
+from repro.workloads.spec import APPS
+
+
+def _filter_without_stats(trace) -> float:
+    """Cache pass with object bookkeeping elided; returns seconds."""
+    h = CacheHierarchy()
+    l1, l2 = h.l1, h.l2
+    vaddrs = trace.vaddr.tolist()
+    writes = trace.is_write.tolist()
+    t0 = time.perf_counter()
+    for vaddr, is_write in zip(vaddrs, writes):
+        hit, _ = l1.access(vaddr, is_write)
+        if not hit:
+            l2.access(vaddr, is_write)
+    return time.perf_counter() - t0
+
+
+def _filter_with_stats(trace) -> float:
+    """Full profiling pass (per-object LUT updates); returns seconds."""
+    h = CacheHierarchy()
+    t0 = time.perf_counter()
+    h.filter_trace(trace, warmup_frac=0.0)
+    return time.perf_counter() - t0
+
+
+def compute(fidelity: Fidelity = DEFAULT,
+            apps: tuple[str, ...] = ("mcf", "lbm", "gcc"),
+            repeats: int = 3) -> FigureResult:
+    """Measure the profiling overhead on a few applications."""
+    fig = FigureResult(
+        figure_id="overhead",
+        title="Profiling overhead (Sec. IV-E)",
+        columns=["app", "plain_s", "profiled_s", "overhead_pct"],
+    )
+    for name in apps:
+        trace = build_app_trace(name, "train", fidelity.n_single)
+        plain = min(_filter_without_stats(trace) for _ in range(repeats))
+        profiled = min(_filter_with_stats(trace) for _ in range(repeats))
+        overhead = (profiled - plain) / plain * 100.0
+        fig.add_row(name, round(plain, 3), round(profiled, 3),
+                    round(overhead, 2))
+    fig.notes.append(
+        "The paper reports 0.59% average runtime slowdown on hardware "
+        "counters; here the overhead is the extra Python bookkeeping of "
+        "the per-object LUT relative to the bare cache pass, so absolute "
+        "percentages differ while remaining small relative to simulation.")
+    return fig
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(compute().render())

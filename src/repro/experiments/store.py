@@ -1,0 +1,111 @@
+"""Result persistence: save regenerated figures as JSON artefacts.
+
+``python -m repro.experiments all --save results/`` writes one
+``<id>.json`` per figure plus a ``manifest.json`` (fidelity, versions),
+so a campaign's numbers can be diffed across commits or machines without
+re-simulating.  Documents round-trip through
+:meth:`~repro.experiments.runner.FigureResult.to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.experiments.runner import Fidelity, FigureResult
+
+FORMAT_VERSION = 1
+
+
+def save_figure(fig: FigureResult, directory: str | Path) -> Path:
+    """Write one figure artefact; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{fig.figure_id}.json"
+    doc = {"version": FORMAT_VERSION, **fig.to_dict()}
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def load_figure(path: str | Path) -> FigureResult:
+    """Read a figure artefact written by :func:`save_figure`."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported figure artefact version {doc.get('version')!r}")
+    return FigureResult.from_dict(doc)
+
+
+def write_manifest(directory: str | Path, fidelity: Fidelity,
+                   figure_ids: list[str]) -> Path:
+    """Record campaign provenance next to the artefacts."""
+    import repro
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "manifest.json"
+    path.write_text(json.dumps({
+        "version": FORMAT_VERSION,
+        "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "library_version": repro.__version__,
+        "python": platform.python_version(),
+        "fidelity": {"name": fidelity.name,
+                     "n_single": fidelity.n_single,
+                     "n_multi": fidelity.n_multi},
+        "figures": sorted(figure_ids),
+    }, indent=1))
+    return path
+
+
+def build_report(directory: str | Path, title: str = "Experiment report",
+                 ) -> str:
+    """Render every artefact in ``directory`` into one markdown report.
+
+    Pairs with ``python -m repro.experiments all --save DIR``: run a
+    campaign, then turn its artefacts into a document without
+    re-simulating anything.
+    """
+    directory = Path(directory)
+    figures = sorted(directory.glob("*.json"))
+    parts = [f"# {title}", ""]
+    manifest = directory / "manifest.json"
+    if manifest.exists():
+        doc = json.loads(manifest.read_text())
+        parts.append(
+            f"*Generated {doc.get('generated_utc', '?')} at fidelity "
+            f"`{doc.get('fidelity', {}).get('name', '?')}` with repro "
+            f"{doc.get('library_version', '?')}.*")
+        parts.append("")
+    for path in figures:
+        if path.name == "manifest.json":
+            continue
+        parts.append(load_figure(path).render_markdown())
+        parts.append("")
+    return "\n".join(parts)
+
+
+def diff_figures(a: FigureResult, b: FigureResult,
+                 rel_tol: float = 0.02) -> list[str]:
+    """Human-readable cell-level differences between two artefacts.
+
+    Returns one line per differing cell; empty list means the figures
+    agree within ``rel_tol`` on every numeric cell (and exactly on text).
+    """
+    out: list[str] = []
+    if a.columns != b.columns:
+        return [f"column mismatch: {a.columns} vs {b.columns}"]
+    keys_a = [r[0] for r in a.rows]
+    keys_b = [r[0] for r in b.rows]
+    if keys_a != keys_b:
+        return [f"row mismatch: {keys_a} vs {keys_b}"]
+    for ra, rb in zip(a.rows, b.rows):
+        for col, va, vb in zip(a.columns[1:], ra[1:], rb[1:]):
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                denom = max(abs(va), abs(vb), 1e-12)
+                if abs(va - vb) / denom > rel_tol:
+                    out.append(f"{ra[0]}/{col}: {va} vs {vb}")
+            elif va != vb:
+                out.append(f"{ra[0]}/{col}: {va!r} vs {vb!r}")
+    return out

@@ -1,0 +1,56 @@
+"""Seed-variance robustness study (beyond the paper).
+
+The reproduction's workloads are synthetic, so a fair question is
+whether the headline comparisons depend on the particular random
+instance.  This experiment re-runs the MOCA-vs-Heter-App comparison on
+several independently perturbed reference inputs (``ref``, ``ref2``,
+``ref3``, ...) — different object sizes, weights, and access sequences —
+and reports the spread.  Conclusions that hold across every variant are
+properties of the *behavioural structure*, not of one dice roll.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.runner import DEFAULT, Fidelity, FigureResult
+from repro.sim.config import HETER_CONFIG1
+from repro.sim.single import run_single
+
+APPS = ("mcf", "disparity", "lbm", "gcc")
+
+
+def compute(fidelity: Fidelity = DEFAULT, n_variants: int = 3) -> FigureResult:
+    """MOCA/Heter-App ratios across reference-input variants."""
+    if n_variants < 2:
+        raise ValueError("need at least two variants for a spread")
+    variants = ["ref"] + [f"ref{i}" for i in range(2, n_variants + 1)]
+    fig = FigureResult(
+        figure_id="variance",
+        title="MOCA vs Heter-App across independent reference inputs "
+              "(memory access time ratio; <1 = MOCA wins)",
+        columns=["app"] + variants + ["mean", "stdev", "always_wins"],
+    )
+    for app in APPS:
+        ratios = []
+        for variant in variants:
+            moca = run_single(app, HETER_CONFIG1, "moca",
+                              input_name=variant,
+                              n_accesses=fidelity.n_single)
+            het = run_single(app, HETER_CONFIG1, "heter-app",
+                             input_name=variant,
+                             n_accesses=fidelity.n_single)
+            ratios.append(moca.mem_access_cycles / het.mem_access_cycles)
+        mean = sum(ratios) / len(ratios)
+        var = sum((r - mean) ** 2 for r in ratios) / (len(ratios) - 1)
+        fig.add_row(app, *(round(r, 3) for r in ratios),
+                    round(mean, 3), round(math.sqrt(var), 3),
+                    "yes" if all(r < 1.0 for r in ratios) else "no")
+    fig.notes.append(
+        "Each variant is an independent size/weight/sequence perturbation "
+        "of the app; MOCA profiles on the shared training input.")
+    return fig
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(compute().render())

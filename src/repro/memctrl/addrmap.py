@@ -1,0 +1,64 @@
+"""Group-local address mapping (RoRaBaChCo-style channel interleaving).
+
+Within a channel group, consecutive cache lines stripe round-robin across
+the group's channels — the ``Ch`` field of Table I's RoRaBaChCo sits just
+above the line offset.  The remaining upper bits become the channel-local
+address whose column/bank/row split the device model decodes.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_power_of_two
+
+#: Cache-line size of the simulated hierarchy (Table I: 64 B lines).
+LINE_BYTES = 64
+LINE_BITS = 6
+
+
+class GroupAddressMap:
+    """Maps a group-local physical address to (channel, channel-local addr).
+
+    For power-of-two group sizes, the channel bits are XOR-hashed with a
+    fold of the upper line bits — the lightweight address hash real
+    controllers apply so power-of-two strides (every 4th line, every 8th
+    line, ...) don't camp on a single channel.  The hash is a per-group
+    permutation of the channel index, so the mapping stays exactly
+    invertible.  Odd group sizes fall back to plain modulo interleaving.
+    """
+
+    def __init__(self, n_channels: int):
+        if n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1, got {n_channels}")
+        self.n_channels = n_channels
+        self._pow2 = (n_channels & (n_channels - 1)) == 0
+        self._k = n_channels.bit_length() - 1  # log2(n) when pow2
+
+    def _hash(self, upper: int) -> int:
+        """Fold upper line bits into a channel-index perturbation."""
+        return (upper ^ (upper >> 3) ^ (upper >> 6)) & (self.n_channels - 1)
+
+    def route(self, gaddr: int) -> tuple[int, int]:
+        """Return ``(channel_index, channel_local_address)`` for a line."""
+        line = gaddr >> LINE_BITS
+        offset = gaddr & (LINE_BYTES - 1)
+        if self._pow2 and self.n_channels > 1:
+            upper = line >> self._k
+            ch = (line & (self.n_channels - 1)) ^ self._hash(upper)
+            local_line = upper
+        else:
+            ch = line % self.n_channels
+            local_line = line // self.n_channels
+        return ch, (local_line << LINE_BITS) | offset
+
+    def inverse(self, channel: int, local_addr: int) -> int:
+        """Reconstruct the group-local address (exact round-trip)."""
+        if not 0 <= channel < self.n_channels:
+            raise ValueError(f"channel {channel} out of range")
+        local_line = local_addr >> LINE_BITS
+        offset = local_addr & (LINE_BYTES - 1)
+        if self._pow2 and self.n_channels > 1:
+            j = channel ^ self._hash(local_line)
+            line = (local_line << self._k) | j
+        else:
+            line = local_line * self.n_channels + channel
+        return (line << LINE_BITS) | offset

@@ -1,0 +1,44 @@
+"""Memory request record passed from the core model to the memory system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class MemRequest:
+    """One line-sized main-memory request (an LLC miss or writeback).
+
+    Attributes:
+        group: Channel-group id the physical frame lives in.
+        gaddr: Group-local physical address of the line.
+        issue_cycle: Cycle at which the request reaches the controller.
+        is_write: Write (demand store or writeback) vs read.
+        demand: Demand access (load/store miss) vs background writeback —
+            controllers buffer writebacks behind demand traffic.
+        obj_id: Memory-object id the access belongs to (-1 = non-heap).
+        core_id: Issuing core (0 on single-core runs).
+        local_addr: Channel-local address (filled by the routing layer).
+        done_cycle: Filled by the memory system on completion.
+        queue_cycles: Cycles spent queueing (bank/bus contention).
+        service_cycles: Bank + bus service time.
+        row_hit: Whether the access hit in an open row.
+    """
+
+    group: int
+    gaddr: int
+    issue_cycle: int
+    is_write: bool = False
+    demand: bool = True
+    obj_id: int = -1
+    core_id: int = 0
+    local_addr: int = 0
+    done_cycle: int = 0
+    queue_cycles: int = 0
+    service_cycles: int = 0
+    row_hit: bool = False
+
+    @property
+    def latency(self) -> int:
+        """Total request latency in cycles (valid after service)."""
+        return self.done_cycle - self.issue_cycle

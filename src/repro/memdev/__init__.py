@@ -1,0 +1,46 @@
+"""DRAM device models for the heterogeneous memory system.
+
+This subpackage provides cycle-approximate timing and power models of the
+four memory technologies the paper evaluates (Table II):
+
+* **DDR3** — the homogeneous baseline used by most servers.
+* **LPDDR2** — low power, high latency, low bandwidth (``Pow_Mem``).
+* **RLDRAM3** — SRAM-like access, lowest latency, highest power (``Lat_Mem``).
+* **HBM** — 2.5D-stacked, widest interface, highest bandwidth (``BW_Mem``).
+
+The timing model is a per-bank state machine (open row + bank-busy window)
+with a shared data bus per (sub)channel; it reproduces the first-order
+latency/bandwidth/queueing differences that drive the paper's results
+without simulating individual DRAM commands.
+"""
+
+from repro.memdev.timing import DeviceTiming
+from repro.memdev.presets import (
+    DDR3,
+    LPDDR2,
+    RLDRAM3,
+    HBM,
+    PRESETS,
+    preset,
+)
+from repro.memdev.bank import BankState
+from repro.memdev.module import MemoryModule, AccessResult
+from repro.memdev.power import PowerModel, EnergyBreakdown
+from repro.memdev.probe import DeviceCharacter, characterize
+
+__all__ = [
+    "DeviceCharacter",
+    "characterize",
+    "DeviceTiming",
+    "DDR3",
+    "LPDDR2",
+    "RLDRAM3",
+    "HBM",
+    "PRESETS",
+    "preset",
+    "BankState",
+    "MemoryModule",
+    "AccessResult",
+    "PowerModel",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,195 @@
+"""Memory module model: banks + subchannel buses + refresh + statistics.
+
+A :class:`MemoryModule` is one physical device population behind one memory
+controller channel (paper Sec. V-C uses one controller per module).  It
+answers timing queries for individual line-sized accesses and accumulates
+the counters the power model (``repro.memdev.power``) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memdev.bank import BankState
+from repro.memdev.timing import DeviceTiming
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one module access.
+
+    Attributes:
+        start: Cycle the access began occupying the bank (>= issue cycle).
+        done: Cycle the last data beat left the module.
+        queue_cycles: Cycles spent waiting for bank/bus availability.
+        service_cycles: Bank core latency + bus transfer.
+        row_hit: Whether the access hit in the row buffer.
+    """
+
+    start: int
+    done: int
+    queue_cycles: int
+    service_cycles: int
+    row_hit: bool
+
+    @property
+    def latency(self) -> int:
+        """Total cycles from issue to data completion."""
+        return self.queue_cycles + self.service_cycles
+
+
+class MemoryModule:
+    """One capacity-bounded module of a single memory technology.
+
+    The module owns ``timing.n_subchannels`` independent data buses and
+    ``n_banks`` banks per subchannel.  Physical addresses local to the
+    module are decoded as ``[... row | bank | subchannel | column ...]``
+    so that consecutive lines stripe across subchannels then banks —
+    the interleaving a real controller uses to expose parallelism.
+    """
+
+    def __init__(self, timing: DeviceTiming, capacity_bytes: int, name: str | None = None):
+        check_positive("capacity_bytes", capacity_bytes)
+        self.timing = timing
+        self.capacity_bytes = int(capacity_bytes)
+        self.name = name or timing.name
+        nsub = timing.n_subchannels
+        self.banks: list[list[BankState]] = [
+            [BankState() for _ in range(timing.n_banks)] for _ in range(nsub)
+        ]
+        self.bus_free_at: list[int] = [0] * nsub
+        # Per-subchannel: last bus direction (for turnaround) and the
+        # times of the last four activates (for tFAW).
+        self._last_was_write: list[bool | None] = [None] * nsub
+        self._recent_acts: list[list[int]] = [[] for _ in range(nsub)]
+        self._next_refresh = timing.tREFI
+        # Statistics for the power model and experiment reports.
+        self.n_accesses = 0
+        self.n_row_hits = 0
+        self.n_reads = 0
+        self.n_writes = 0
+        self.bus_busy_cycles = 0
+        self.bank_busy_cycles = 0
+        self.bytes_transferred = 0
+        self.last_done_cycle = 0
+        # Precomputed address-decode shifts (row window/banks are pow2).
+        self._col_bits = (timing.effective_row_bytes - 1).bit_length()
+        self._sub_mask = nsub - 1
+        self._sub_bits = self._sub_mask.bit_length()
+        self._bank_mask = timing.n_banks - 1
+        self._bank_bits = self._bank_mask.bit_length()
+
+    # ---- address decode ---------------------------------------------------------
+
+    def decode(self, local_addr: int) -> tuple[int, int, int]:
+        """Map a module-local physical address to (subchannel, bank, row)."""
+        line = local_addr >> self._col_bits
+        sub = line & self._sub_mask
+        line >>= self._sub_bits
+        bank = line & self._bank_mask
+        row = (line >> self._bank_bits) % self.timing.n_rows
+        return sub, bank, row
+
+    # ---- timing -----------------------------------------------------------------
+
+    def access(self, local_addr: int, issue_cycle: int, nbytes: int = 64,
+               is_write: bool = False) -> AccessResult:
+        """Perform one access; mutates bank/bus state and statistics."""
+        t = self.timing
+        if issue_cycle >= self._next_refresh:
+            self._do_refresh(issue_cycle)
+        sub, bank_i, row = self.decode(local_addr)
+        bank = self.banks[sub][bank_i]
+        row_hit = bank.is_hit(row)
+        ideal = bank.access_latency(t, row)
+        start = max(issue_cycle, bank.ready_at)
+        # tFAW: a fifth activate must wait for the oldest of the last
+        # four to leave the window (row changes only).
+        if not row_hit and t.tFAW > 0:
+            acts = self._recent_acts[sub]
+            if len(acts) >= 4:
+                start = max(start, acts[-4] + t.tFAW)
+        data_ready = bank.service(t, row, start)
+        if not row_hit:
+            acts = self._recent_acts[sub]
+            acts.append(bank.last_activate)
+            if len(acts) > 4:
+                del acts[:-4]
+        # Bank-core occupancy (activate/column windows) drives the
+        # active-power utilization (Micron-calculator-style ACT/PRE term).
+        self.bank_busy_cycles += bank.ready_at - start
+        # The data beat needs the subchannel bus after the bank responds,
+        # plus a turnaround penalty when the bus switches direction.
+        transfer = t.transfer_cycles(nbytes)
+        bus_start = max(data_ready, self.bus_free_at[sub])
+        prev_write = self._last_was_write[sub]
+        if prev_write is not None and prev_write != is_write:
+            bus_start += t.turnaround
+        self._last_was_write[sub] = is_write
+        done = bus_start + transfer
+        self.bus_free_at[sub] = done
+        service = ideal + transfer
+        queue = (done - issue_cycle) - service
+        if queue < 0:  # rounding guard; service definition is first-order
+            queue = 0
+        # Stats.
+        self.n_accesses += 1
+        self.n_row_hits += row_hit
+        if is_write:
+            self.n_writes += 1
+        else:
+            self.n_reads += 1
+        self.bus_busy_cycles += transfer
+        self.bytes_transferred += nbytes
+        if done > self.last_done_cycle:
+            self.last_done_cycle = done
+        return AccessResult(start=start, done=done, queue_cycles=queue,
+                            service_cycles=service, row_hit=row_hit)
+
+    def _do_refresh(self, now: int) -> None:
+        """Apply all elapsed refresh intervals (cheap catch-up model)."""
+        t = self.timing
+        while now >= self._next_refresh:
+            at = self._next_refresh
+            for sub_banks in self.banks:
+                for b in sub_banks:
+                    b.refresh(t, at)
+            self._next_refresh += t.tREFI
+
+    # ---- bookkeeping ------------------------------------------------------------
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that hit an open row."""
+        return self.n_row_hits / self.n_accesses if self.n_accesses else 0.0
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Active-power utilization over ``elapsed_cycles``.
+
+        The dominant DRAM active-power term is the activate/precharge
+        work, so utilization is the fraction of time each subchannel's
+        rank has bank cores busy (union-bounded at 1), never less than
+        the raw data-bus occupancy.
+        """
+        if elapsed_cycles <= 0:
+            return 0.0
+        total = elapsed_cycles * self.timing.n_subchannels
+        bus = self.bus_busy_cycles / total
+        act = self.bank_busy_cycles / total
+        return min(1.0, max(bus, act))
+
+    def reset_stats(self) -> None:
+        """Clear statistics without disturbing timing state."""
+        self.n_accesses = 0
+        self.n_row_hits = 0
+        self.n_reads = 0
+        self.n_writes = 0
+        self.bus_busy_cycles = 0
+        self.bank_busy_cycles = 0
+        self.bytes_transferred = 0
+        self.last_done_cycle = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemoryModule({self.name}, {self.capacity_bytes >> 20} MiB, "
+                f"{self.n_accesses} accesses)")

@@ -1,0 +1,74 @@
+"""Memory power/energy model (paper Sec. V-A).
+
+The paper feeds read/write access rates into Micron's DRAM power
+calculators and reports the per-GB figures of Table II.  We use the same
+two published constants directly:
+
+* **standby** (background) power — proportional to populated capacity,
+  drawn for the whole interval;
+* **active** power — the incremental power at full data-bus utilization,
+  scaled by the measured utilization of the interval.
+
+``P(module) = standby_mW/GB * GB + active_W/GB * GB * utilization``
+
+Energy over an interval is ``P * T``; the paper's "memory EDP" is the
+product of memory power and total memory access time (Sec. VI-A), which we
+expose alongside a conventional energy*delay for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memdev.module import MemoryModule
+from repro.util.units import GIB, cycles_to_ns
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Power/energy accounting for one module over one interval.
+
+    Attributes:
+        standby_w: Background power, watts.
+        active_w: Utilization-scaled active power, watts.
+        energy_j: Total energy over the interval, joules.
+        elapsed_s: Interval length, seconds.
+    """
+
+    standby_w: float
+    active_w: float
+    energy_j: float
+    elapsed_s: float
+
+    @property
+    def total_w(self) -> float:
+        return self.standby_w + self.active_w
+
+
+class PowerModel:
+    """Evaluates Table II power figures against module activity counters."""
+
+    def module_power(self, module: MemoryModule, elapsed_cycles: int) -> EnergyBreakdown:
+        """Power/energy of ``module`` over ``elapsed_cycles`` core cycles."""
+        t = module.timing
+        gb = module.capacity_bytes / GIB
+        standby = t.standby_mw_per_gb * 1e-3 * gb
+        util = module.utilization(elapsed_cycles)
+        active = t.active_w_per_gb * gb * util
+        elapsed_s = cycles_to_ns(max(elapsed_cycles, 0)) * 1e-9
+        energy = (standby + active) * elapsed_s
+        return EnergyBreakdown(
+            standby_w=standby, active_w=active, energy_j=energy, elapsed_s=elapsed_s
+        )
+
+    def system_power(self, modules: list[MemoryModule], elapsed_cycles: int) -> float:
+        """Total memory power (watts) across all modules."""
+        return sum(
+            self.module_power(m, elapsed_cycles).total_w for m in modules
+        )
+
+    def system_energy(self, modules: list[MemoryModule], elapsed_cycles: int) -> float:
+        """Total memory energy (joules) across all modules."""
+        return sum(
+            self.module_power(m, elapsed_cycles).energy_j for m in modules
+        )

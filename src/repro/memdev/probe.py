@@ -1,0 +1,128 @@
+"""Device-model characterization probes (lmbench-style self-checks).
+
+These microbenchmarks drive a single :class:`MemoryModule` with
+controlled access patterns and report the latencies and bandwidths the
+*model* delivers, so they can be checked against the figures Table II
+implies.  They double as regression anchors: if a timing change breaks a
+device's character (RLDRAM stops being the latency leader, HBM stops
+being the bandwidth leader), the probe tests catch it before the
+experiment stack does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memdev.module import MemoryModule
+from repro.memdev.timing import DeviceTiming
+from repro.util.rng import stream
+from repro.util.units import MIB, cycles_to_ns
+
+
+@dataclass(frozen=True)
+class DeviceCharacter:
+    """Measured first-order character of one device model.
+
+    Attributes:
+        name: Technology name.
+        idle_hit_ns: Unloaded row-buffer-hit latency.
+        idle_miss_ns: Unloaded row-miss (closed bank) latency.
+        idle_conflict_ns: Unloaded row-conflict latency.
+        loaded_random_ns: Mean random-access latency at closed-loop load.
+        stream_gbps: Sequential streaming bandwidth (one module).
+        random_gbps: Random-access bandwidth (bank-parallel, closed-loop).
+    """
+
+    name: str
+    idle_hit_ns: float
+    idle_miss_ns: float
+    idle_conflict_ns: float
+    loaded_random_ns: float
+    stream_gbps: float
+    random_gbps: float
+
+
+def idle_latencies(timing: DeviceTiming, capacity: int = 16 * MIB,
+                   ) -> tuple[float, float, float]:
+    """(hit, miss, conflict) unloaded latencies in ns, measured."""
+    line = 64
+    row_span = timing.effective_row_bytes * timing.n_subchannels \
+        * timing.n_banks
+    # Probe gaps sit well inside one refresh interval: a REF between the
+    # probes would close the row and turn the "hit" into a miss.
+    gap = max(200, timing.tRC * 4)
+    # Miss: first touch of a closed bank.
+    m = MemoryModule(timing, capacity)
+    miss = m.access(0, 0, nbytes=line).latency
+    # Hit: same row again, after the bank frees.
+    hit = m.access(line, gap, nbytes=line).latency
+    # Conflict: a different row of the same bank.
+    conflict = m.access(row_span, 2 * gap, nbytes=line).latency
+    return (cycles_to_ns(hit), cycles_to_ns(miss), cycles_to_ns(conflict))
+
+
+def stream_bandwidth(timing: DeviceTiming, capacity: int = 16 * MIB,
+                     n_lines: int = 4_000, window: int = 64) -> float:
+    """Streaming bandwidth in GB/s with ``window`` requests in flight."""
+    m = MemoryModule(timing, capacity)
+    t = 0
+    done = 0
+    for i in range(n_lines):
+        res = m.access((i * 64) % capacity, t)
+        done = max(done, res.done)
+        if (i + 1) % window == 0:
+            t = done  # closed loop: next window starts when this lands
+    total_bytes = n_lines * 64
+    return total_bytes / cycles_to_ns(max(done, 1))  # bytes/ns == GB/s
+
+
+def random_bandwidth(timing: DeviceTiming, capacity: int = 16 * MIB,
+                     n_lines: int = 4_000, window: int = 16,
+                     seed_key: str = "probe") -> float:
+    """Random-access bandwidth in GB/s with ``window`` requests in flight."""
+    rng = stream("memdev-probe", timing.name, seed_key)
+    addrs = (rng.integers(0, capacity // 64, n_lines) * 64).tolist()
+    m = MemoryModule(timing, capacity)
+    t = 0
+    done = 0
+    for i, a in enumerate(addrs):
+        res = m.access(a, t)
+        done = max(done, res.done)
+        if (i + 1) % window == 0:
+            t = done
+    return n_lines * 64 / cycles_to_ns(max(done, 1))
+
+
+def loaded_random_latency(timing: DeviceTiming, capacity: int = 16 * MIB,
+                          n_lines: int = 2_000, window: int = 8) -> float:
+    """Mean random-access latency (ns) under closed-loop load."""
+    rng = stream("memdev-probe", timing.name, "loaded")
+    addrs = (rng.integers(0, capacity // 64, n_lines) * 64).tolist()
+    m = MemoryModule(timing, capacity)
+    t = 0
+    done = 0
+    total = 0
+    for i, a in enumerate(addrs):
+        res = m.access(a, t)
+        total += res.latency
+        done = max(done, res.done)
+        if (i + 1) % window == 0:
+            t = done
+    return cycles_to_ns(total / n_lines)
+
+
+def characterize(timing: DeviceTiming, capacity: int = 16 * MIB,
+                 ) -> DeviceCharacter:
+    """Full probe battery for one device model."""
+    hit, miss, conflict = idle_latencies(timing, capacity)
+    return DeviceCharacter(
+        name=timing.name,
+        idle_hit_ns=hit,
+        idle_miss_ns=miss,
+        idle_conflict_ns=conflict,
+        loaded_random_ns=loaded_random_latency(timing, capacity),
+        stream_gbps=stream_bandwidth(timing, capacity),
+        random_gbps=random_bandwidth(timing, capacity),
+    )

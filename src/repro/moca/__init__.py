@@ -1,0 +1,71 @@
+"""MOCA: the paper's contribution — object classification and allocation.
+
+The pipeline (paper Figs. 4 and 7):
+
+1. :mod:`repro.moca.naming` — unique heap-object names from the allocation
+   call's return address plus up to five caller return addresses (Fig. 3);
+2. :mod:`repro.moca.profiler` — offline profiling on the *training* input:
+   per-object LLC MPKI and ROB-head stall cycles per load miss, collected
+   into the :mod:`repro.moca.lut` lookup table;
+3. :mod:`repro.moca.classify` — the Fig. 5 threshold classifier
+   (``Thr_Lat = 1`` MPKI, ``Thr_BW = 20`` stall cycles/miss, Sec. IV-C);
+4. :mod:`repro.moca.allocation` — runtime page-allocation policies: MOCA
+   (object-level), Heter-App (application-level, Phadke & Narayanasamy),
+   and the homogeneous baselines;
+5. :mod:`repro.moca.framework` — the end-to-end profile→classify→allocate
+   pipeline most callers want.
+"""
+
+from repro.moca.naming import ObjectName, name_from_site, name_from_python_stack
+from repro.moca.lut import ObjectProfile, ProfileLUT
+from repro.moca.profiler import MemoryObjectProfiler, ProfiledApp
+from repro.moca.classify import (
+    Thresholds,
+    DEFAULT_THRESHOLDS,
+    classify_object,
+    classify_application,
+)
+from repro.moca.allocation import (
+    PlacementPolicy,
+    MocaPolicy,
+    HeterAppPolicy,
+    HomogeneousPolicy,
+    plan_placement,
+    PlacementPlan,
+)
+from repro.moca.framework import MocaFramework, InstrumentedApp
+from repro.moca.serialize import (
+    save_lut,
+    load_lut,
+    save_instrumented,
+    load_instrumented,
+)
+from repro.moca.thresholds import search_thresholds, best_thresholds
+
+__all__ = [
+    "ObjectName",
+    "name_from_site",
+    "name_from_python_stack",
+    "ObjectProfile",
+    "ProfileLUT",
+    "MemoryObjectProfiler",
+    "ProfiledApp",
+    "Thresholds",
+    "DEFAULT_THRESHOLDS",
+    "classify_object",
+    "classify_application",
+    "PlacementPolicy",
+    "MocaPolicy",
+    "HeterAppPolicy",
+    "HomogeneousPolicy",
+    "plan_placement",
+    "PlacementPlan",
+    "MocaFramework",
+    "InstrumentedApp",
+    "save_lut",
+    "load_lut",
+    "save_instrumented",
+    "load_instrumented",
+    "search_thresholds",
+    "best_thresholds",
+]

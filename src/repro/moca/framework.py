@@ -1,0 +1,105 @@
+"""End-to-end MOCA pipeline (paper Fig. 7).
+
+:class:`MocaFramework` ties the offline half together: profile an
+application on its training input, classify every named object, and emit
+an :class:`InstrumentedApp` — the reproduction's analogue of the paper's
+instrumented binary, carrying (object name → type) metadata.  At runtime
+the framework resolves those names against the reference input's objects
+to give :class:`~repro.moca.allocation.MocaPolicy` its object-type maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.moca.classify import DEFAULT_THRESHOLDS, Thresholds, classify_object
+from repro.moca.naming import ObjectName, name_from_site
+from repro.moca.profiler import ProfiledApp, profile_app
+from repro.trace.events import AccessTrace
+from repro.vm.heap import ObjectType
+from repro.workloads.inputs import TRAIN
+
+
+@dataclass(frozen=True)
+class InstrumentedApp:
+    """Classification metadata instrumented into an application binary.
+
+    Attributes:
+        app_name: The application.
+        types: Object name → profiled type (the extra ``malloc`` argument
+            of paper Sec. III-C).
+        thresholds: Thresholds the classification used.
+    """
+
+    app_name: str
+    types: dict[ObjectName, ObjectType] = field(default_factory=dict)
+    thresholds: Thresholds = DEFAULT_THRESHOLDS
+    #: Profiled miss density (LLC misses per KiB of object) per name —
+    #: MOCA's runtime uses it to give hot objects first claim on their
+    #: preferred module (Sec. VI-B).
+    heat: dict[ObjectName, float] = field(default_factory=dict)
+
+    def type_of_site(self, site: int) -> ObjectType | None:
+        """Type for an allocation site, or None if never profiled."""
+        return self.types.get(name_from_site(site))
+
+    def heat_of_site(self, site: int) -> float:
+        """Profiled miss density for a site (0 if never profiled)."""
+        return self.heat.get(name_from_site(site), 0.0)
+
+    def partition_histogram(self) -> dict[ObjectType, int]:
+        counts = {t: 0 for t in ObjectType}
+        for t in self.types.values():
+            counts[t] += 1
+        return counts
+
+
+class MocaFramework:
+    """Profile → classify → instrument → (runtime) object-type maps."""
+
+    def __init__(self, thresholds: Thresholds = DEFAULT_THRESHOLDS,
+                 profile_input: str = TRAIN,
+                 profile_accesses: int = 200_000):
+        self.thresholds = thresholds
+        self.profile_input = profile_input
+        self.profile_accesses = profile_accesses
+
+    def instrument(self, app_name: str,
+                   profiled: ProfiledApp | None = None) -> InstrumentedApp:
+        """Run the offline stage for one application."""
+        profiled = profiled or profile_app(
+            app_name, self.profile_input, self.profile_accesses)
+        types = {
+            p.name: classify_object(p, self.thresholds)
+            for p in profiled.lut
+        }
+        heat = {
+            p.name: p.llc_mpki / max(1.0, p.size_bytes / 1024.0)
+            for p in profiled.lut
+        }
+        return InstrumentedApp(app_name=app_name, types=types,
+                               thresholds=self.thresholds, heat=heat)
+
+    def runtime_types(self, instrumented: InstrumentedApp,
+                      trace: AccessTrace) -> dict[int, ObjectType]:
+        """Resolve instrumented names against a runtime trace's objects.
+
+        Objects whose allocation site was never profiled stay out of the
+        map — the allocator defaults them to the power module, exactly
+        like the paper's unclassified pages.
+        """
+        out: dict[int, ObjectType] = {}
+        for obj in trace.layout.objects:
+            typ = instrumented.type_of_site(obj.site)
+            if typ is not None:
+                out[obj.obj_id] = typ
+        return out
+
+    def runtime_heat(self, instrumented: InstrumentedApp,
+                     trace: AccessTrace) -> dict[int, float]:
+        """Resolve profiled miss densities against a runtime trace."""
+        return {
+            obj.obj_id: instrumented.heat_of_site(obj.site)
+            for obj in trace.layout.objects
+            if instrumented.heat_of_site(obj.site) > 0.0
+        }

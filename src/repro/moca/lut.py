@@ -1,0 +1,100 @@
+"""The profiling lookup table (paper Sec. IV-A).
+
+"This LUT contains all the information of every object (call stack, size,
+start address, LLC MPKI, ROB head stall cycles per load miss)."  Entries
+support merging so multiple profiled windows (the paper's weighted
+SimPoints) accumulate into one profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.moca.naming import ObjectName
+
+
+@dataclass
+class ObjectProfile:
+    """Accumulated statistics of one named memory object."""
+
+    name: ObjectName
+    label: str = ""
+    size_bytes: int = 0
+    start_vaddr: int = 0
+    accesses: int = 0
+    llc_misses: int = 0
+    load_misses: int = 0
+    stall_cycles: int = 0
+    kilo_instructions: float = 0.0
+
+    @property
+    def llc_mpki(self) -> float:
+        """Demand LLC misses per kilo-instruction of the profiled window."""
+        if self.kilo_instructions <= 0:
+            return 0.0
+        return self.llc_misses / self.kilo_instructions
+
+    @property
+    def stall_per_load_miss(self) -> float:
+        """ROB head stall cycles per load miss."""
+        if self.load_misses <= 0:
+            return 0.0
+        return self.stall_cycles / self.load_misses
+
+    def merge(self, other: "ObjectProfile", weight: float = 1.0) -> None:
+        """Fold another window's counters in (weighted, for SimPoints)."""
+        if other.name != self.name:
+            raise ValueError("cannot merge profiles of different objects")
+        self.accesses += int(other.accesses * weight)
+        self.llc_misses += int(other.llc_misses * weight)
+        self.load_misses += int(other.load_misses * weight)
+        self.stall_cycles += int(other.stall_cycles * weight)
+        self.kilo_instructions += other.kilo_instructions * weight
+        self.size_bytes = max(self.size_bytes, other.size_bytes)
+
+
+class ProfileLUT:
+    """Object-name-keyed profile store for one application."""
+
+    def __init__(self, app_name: str = ""):
+        self.app_name = app_name
+        self._entries: dict[ObjectName, ObjectProfile] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: ObjectName) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def get(self, name: ObjectName) -> ObjectProfile | None:
+        return self._entries.get(name)
+
+    def register(self, profile: ObjectProfile, weight: float = 1.0) -> ObjectProfile:
+        """Insert or merge a profiled window for an object."""
+        existing = self._entries.get(profile.name)
+        if existing is None:
+            self._entries[profile.name] = profile
+            return profile
+        existing.merge(profile, weight)
+        return existing
+
+    def hottest(self, n: int = 10) -> list[ObjectProfile]:
+        """Objects by descending LLC MPKI (Fig. 2's interesting corner)."""
+        return sorted(self._entries.values(),
+                      key=lambda p: p.llc_mpki, reverse=True)[:n]
+
+    def totals(self) -> tuple[float, float]:
+        """(application LLC MPKI, application stall cycles per load miss)."""
+        ki = max((p.kilo_instructions for p in self._entries.values()),
+                 default=0.0)
+        if ki <= 0:
+            return 0.0, 0.0
+        misses = sum(p.llc_misses for p in self._entries.values())
+        load_misses = sum(p.load_misses for p in self._entries.values())
+        stalls = sum(p.stall_cycles for p in self._entries.values())
+        mpki = misses / ki
+        spm = stalls / load_misses if load_misses else 0.0
+        return mpki, spm

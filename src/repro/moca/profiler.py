@@ -1,0 +1,168 @@
+"""Offline memory-object profiler (paper Secs. III-A, IV-A/B, Fig. 7).
+
+Profiles one application on its *training* input: names every heap object,
+runs the trace through the cache hierarchy and the interval core against a
+profiling memory system (a plain DDR3 machine, like the paper's gem5
+baseline), and fills a :class:`~repro.moca.lut.ProfileLUT` with each
+object's size, LLC MPKI and ROB-head stall cycles per load miss.
+
+The profiler also keeps the per-segment (stack/code/global) L2 MPKI used
+by the paper's Fig. 16 argument for pinning those segments to LPDDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.cpu.core import CoreParams, CoreResult, InOrderWindowCore
+from repro.cpu.hierarchy import (
+    CacheHierarchy,
+    CacheStats,
+    SEG_CODE,
+    SEG_GLOBAL,
+    SEG_STACK,
+)
+from repro.memctrl.system import ChannelGroup, MemorySystem
+from repro.memdev.presets import DDR3
+from repro.moca.allocation import HomogeneousPolicy, plan_placement
+from repro.moca.lut import ObjectProfile, ProfileLUT
+from repro.moca.naming import name_from_site
+from repro.trace.events import AccessTrace
+from repro.util.units import MIB
+from repro.vm.allocator import OSPageAllocator
+from repro.vm.physmem import FramePool
+from repro.workloads.inputs import TRAIN, build_app_trace
+
+_SEGMENT_LABELS = {SEG_STACK: "stack", SEG_CODE: "code", SEG_GLOBAL: "global"}
+__all__ = ["ProfiledApp", "MemoryObjectProfiler", "profile_app",
+           "default_profiling_system"]
+
+
+@dataclass
+class ProfiledApp:
+    """Everything the offline stage learns about one application."""
+
+    app_name: str
+    input_name: str
+    lut: ProfileLUT
+    app_mpki: float
+    app_stall_per_miss: float
+    #: segment label → L2 MPKI (Fig. 16).
+    segment_mpki: dict[str, float] = field(default_factory=dict)
+    cache_stats: CacheStats | None = None
+    core_result: CoreResult | None = None
+
+
+def default_profiling_system(capacity_bytes: int = 256 * MIB) -> MemorySystem:
+    """The profiling machine's memory: 4-channel homogeneous DDR3.
+
+    Matches the paper's profiling substrate (gem5 with the Table I
+    controller over DDR3) at the reproduction's 1:8 capacity scale.
+    """
+    return MemorySystem(
+        {"main": ChannelGroup(DDR3, 4, capacity_bytes // 4, name="DDR3")},
+        name="profiling-ddr3",
+    )
+
+
+class MemoryObjectProfiler:
+    """Runs the offline profiling pass for one application input."""
+
+    def __init__(self, core_params: CoreParams | None = None):
+        self.core_params = core_params or CoreParams()
+
+    def profile_trace(self, trace: AccessTrace, app_name: str = "",
+                      input_name: str = TRAIN,
+                      memsys: MemorySystem | None = None) -> ProfiledApp:
+        """Profile an already-built access trace."""
+        memsys = memsys or default_profiling_system()
+        stream, cache_stats = CacheHierarchy().filter_trace(trace)
+
+        pools = {i: FramePool(g.capacity_bytes, i, g.name)
+                 for i, g in enumerate(memsys.groups)}
+        allocator = OSPageAllocator(pools, roles={"main": 0})
+        plan = plan_placement([stream], HomogeneousPolicy(), allocator)
+
+        core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0],
+                                 self.core_params)
+        result = core.run_to_completion(memsys)
+
+        ki = cache_stats.total_instructions / 1000.0
+        lut = ProfileLUT(app_name)
+        for obj in trace.layout.objects:
+            acc, misses = cache_stats.per_object.get(obj.obj_id, [0, 0])
+            lut.register(ObjectProfile(
+                name=name_from_site(obj.site),
+                label=f"{app_name}.{obj.name}" if app_name else obj.name,
+                size_bytes=obj.size_bytes,
+                start_vaddr=obj.vbase,
+                accesses=acc,
+                llc_misses=misses,
+                load_misses=result.load_misses_by_obj.get(obj.obj_id, 0),
+                stall_cycles=result.stall_by_obj.get(obj.obj_id, 0),
+                kilo_instructions=ki,
+            ))
+
+        segment_mpki = {}
+        for seg_id, label in _SEGMENT_LABELS.items():
+            _, seg_misses = cache_stats.per_object.get(seg_id, [0, 0])
+            segment_mpki[label] = seg_misses / ki if ki else 0.0
+
+        app_mpki, app_spm = lut.totals()
+        return ProfiledApp(
+            app_name=app_name,
+            input_name=input_name,
+            lut=lut,
+            app_mpki=app_mpki,
+            app_stall_per_miss=app_spm,
+            segment_mpki=segment_mpki,
+            cache_stats=cache_stats,
+            core_result=result,
+        )
+
+
+    def profile_windows(self, windows: list[tuple[AccessTrace, float]],
+                        app_name: str = "",
+                        input_name: str = TRAIN) -> ProfiledApp:
+        """Weighted multi-window profiling (the paper's SimPoints).
+
+        The paper fast-forwards to several SimPoints, profiles 100M
+        instructions at each, and takes a weighted combination of the
+        per-object metrics (Sec. V-A).  Each ``(trace, weight)`` pair
+        here is one window; the LUTs merge with the given weights and
+        the aggregate metrics are recomputed from the merged counters.
+        """
+        if not windows:
+            raise ValueError("need at least one profiling window")
+        total_w = sum(w for _, w in windows)
+        if total_w <= 0:
+            raise ValueError("window weights must sum to a positive value")
+        merged = ProfileLUT(app_name)
+        segment_mpki: dict[str, float] = {}
+        for trace, weight in windows:
+            part = self.profile_trace(trace, app_name, input_name)
+            frac = weight / total_w
+            for profile in part.lut:
+                merged.register(ObjectProfile(
+                    name=profile.name, label=profile.label,
+                    size_bytes=profile.size_bytes,
+                    start_vaddr=profile.start_vaddr,
+                ), weight=1.0)  # ensure the entry exists
+                merged.get(profile.name).merge(profile, weight=frac)
+            for seg, mpki in part.segment_mpki.items():
+                segment_mpki[seg] = segment_mpki.get(seg, 0.0) + mpki * frac
+        app_mpki, app_spm = merged.totals()
+        return ProfiledApp(
+            app_name=app_name, input_name=input_name, lut=merged,
+            app_mpki=app_mpki, app_stall_per_miss=app_spm,
+            segment_mpki=segment_mpki,
+        )
+
+
+@lru_cache(maxsize=64)
+def profile_app(app_name: str, input_name: str = TRAIN,
+                n_accesses: int = 200_000) -> ProfiledApp:
+    """Profile (and memoize) one named application input."""
+    trace = build_app_trace(app_name, input_name, n_accesses)
+    return MemoryObjectProfiler().profile_trace(trace, app_name, input_name)

@@ -1,0 +1,72 @@
+"""Empirical classification-threshold search (paper Sec. IV-C).
+
+The paper sets ``Thr_Lat`` to the lowest object LLC MPKI at which RLDRAM
+placement still improves memory energy efficiency, and ``Thr_BW`` to the
+highest ROB-stall value at which HBM placement still helps, for the
+target system.  :func:`search_thresholds` reproduces that procedure: it
+sweeps a candidate grid and scores each (Thr_Lat, Thr_BW) pair by the
+geometric-mean memory EDP of MOCA runs over a set of applications.
+
+This doubles as the threshold-sensitivity ablation (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.moca.classify import Thresholds
+
+
+@dataclass(frozen=True)
+class ThresholdScore:
+    """One grid point of the search."""
+
+    thresholds: Thresholds
+    mean_memory_edp: float
+    mean_access_cycles: float
+
+
+def search_thresholds(
+    apps: tuple[str, ...] = ("mcf", "lbm", "gcc"),
+    thr_lat_candidates: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    thr_bw_candidates: tuple[float, ...] = (10.0, 20.0, 30.0),
+    n_accesses: int = 60_000,
+) -> list[ThresholdScore]:
+    """Sweep the threshold grid; returns scores sorted best-first.
+
+    Scores are geometric means over ``apps`` of MOCA's memory EDP on the
+    default heterogeneous system, normalized per app to the grid's first
+    point so apps weigh equally.
+    """
+    # Imported lazily: repro.sim imports repro.moca, so a module-level
+    # import here would be circular.
+    from repro.experiments.runner import geomean
+    from repro.sim.config import HETER_CONFIG1
+    from repro.sim.single import run_single
+
+    results: list[ThresholdScore] = []
+    baselines: dict[str, float] = {}
+    for thr_lat in thr_lat_candidates:
+        for thr_bw in thr_bw_candidates:
+            thresholds = Thresholds(thr_lat=thr_lat, thr_bw=thr_bw)
+            edps = []
+            times = []
+            for app in apps:
+                m = run_single(app, HETER_CONFIG1, "moca",
+                               n_accesses=n_accesses,
+                               thresholds=thresholds)
+                base = baselines.setdefault(app, m.memory_edp or 1.0)
+                edps.append(m.memory_edp / base)
+                times.append(float(m.mem_access_cycles))
+            results.append(ThresholdScore(
+                thresholds=thresholds,
+                mean_memory_edp=geomean(edps),
+                mean_access_cycles=geomean(times),
+            ))
+    results.sort(key=lambda s: s.mean_memory_edp)
+    return results
+
+
+def best_thresholds(**kwargs) -> Thresholds:
+    """Convenience: the best grid point of :func:`search_thresholds`."""
+    return search_thresholds(**kwargs)[0].thresholds

@@ -1,0 +1,49 @@
+"""Experiment drivers: system configurations, runners, and metrics.
+
+* :mod:`repro.sim.config` — the paper's memory-system configurations
+  (Homogen-DDR3/-LP/-RL/-HBM, heterogeneous config1/2/3) at the
+  reproduction's 1:8 capacity scale;
+* :mod:`repro.sim.metrics` — memory access time, memory/system power,
+  EDP definitions (paper Sec. VI-A);
+* :mod:`repro.sim.single` — single-core runs (Figs. 8–9);
+* :mod:`repro.sim.multi` — 4-core multi-programmed runs (Figs. 10–15).
+"""
+
+from repro.sim.config import (
+    CAPACITY_SCALE,
+    GroupSpec,
+    SystemConfig,
+    HOMOGEN_DDR3,
+    HOMOGEN_LP,
+    HOMOGEN_RL,
+    HOMOGEN_HBM,
+    HETER_CONFIG1,
+    HETER_CONFIG2,
+    HETER_CONFIG3,
+    ALL_SYSTEMS,
+    HETERO_POLICIES,
+)
+from repro.sim.metrics import RunMetrics
+from repro.sim.single import run_single, filtered_stream
+from repro.sim.multi import run_multi
+from repro.sim.migration import run_single_migration
+
+__all__ = [
+    "CAPACITY_SCALE",
+    "GroupSpec",
+    "SystemConfig",
+    "HOMOGEN_DDR3",
+    "HOMOGEN_LP",
+    "HOMOGEN_RL",
+    "HOMOGEN_HBM",
+    "HETER_CONFIG1",
+    "HETER_CONFIG2",
+    "HETER_CONFIG3",
+    "ALL_SYSTEMS",
+    "HETERO_POLICIES",
+    "RunMetrics",
+    "run_single",
+    "filtered_stream",
+    "run_multi",
+    "run_single_migration",
+]

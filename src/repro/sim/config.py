@@ -1,0 +1,135 @@
+"""Memory-system configurations (paper Secs. V-B, V-C, VI-C).
+
+Capacities are the paper's, scaled 1:8 (``CAPACITY_SCALE``) to match the
+scaled synthetic working sets — see DESIGN.md §6.  The scaling preserves
+every capacity *ratio* (which module fills first, who spills where), which
+is what the allocation-policy comparisons depend on.
+
+Homogeneous systems: four channels of 512 MB (paper) of one technology —
+one interleaved channel group.  Heterogeneous systems name their groups by
+role: ``lat`` (RLDRAM), ``bw`` (HBM), ``pow`` (LPDDR2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memctrl.system import ChannelGroup, MemorySystem
+from repro.memdev.presets import preset
+from repro.util.units import MIB
+from repro.vm.allocator import OSPageAllocator
+from repro.vm.pagetable import PageTable
+from repro.vm.physmem import FramePool
+
+#: Paper capacity → reproduction capacity divisor.
+CAPACITY_SCALE = 8
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One channel group of a system configuration.
+
+    Attributes:
+        role: ``"main"`` (homogeneous), ``"lat"``, ``"bw"`` or ``"pow"``.
+        tech: Device preset name (``repro.memdev.presets``).
+        n_channels: Channels (controllers) in the group.
+        paper_mb_per_channel: The paper's per-channel capacity in MB.
+    """
+
+    role: str
+    tech: str
+    n_channels: int
+    paper_mb_per_channel: int
+
+    @property
+    def capacity_per_channel(self) -> int:
+        return self.paper_mb_per_channel * MIB // CAPACITY_SCALE
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A named memory-system configuration."""
+
+    name: str
+    groups: tuple[GroupSpec, ...]
+
+    def build(self) -> MemorySystem:
+        """Instantiate a fresh (zero-state) memory system."""
+        built = {
+            spec.role: ChannelGroup(
+                preset(spec.tech), spec.n_channels,
+                spec.capacity_per_channel,
+                name=f"{spec.tech}",
+            )
+            for spec in self.groups
+        }
+        return MemorySystem(built, name=self.name)
+
+    def roles(self) -> dict[str, int]:
+        return {spec.role: i for i, spec in enumerate(self.groups)}
+
+    def make_allocator(self, memsys: MemorySystem) -> OSPageAllocator:
+        """Fresh frame pools + page table for one run on ``memsys``."""
+        pools = {
+            i: FramePool(g.capacity_bytes, i, g.name)
+            for i, g in enumerate(memsys.groups)
+        }
+        return OSPageAllocator(pools, self.roles(), PageTable())
+
+    @property
+    def total_paper_mb(self) -> int:
+        return sum(s.paper_mb_per_channel * s.n_channels for s in self.groups)
+
+
+def _homogeneous(tech: str, label: str) -> SystemConfig:
+    return SystemConfig(
+        name=f"Homogen-{label}",
+        groups=(GroupSpec("main", tech, 4, 512),),
+    )
+
+
+HOMOGEN_DDR3 = _homogeneous("DDR3", "DDR3")
+HOMOGEN_LP = _homogeneous("LPDDR2", "LP")
+HOMOGEN_RL = _homogeneous("RLDRAM3", "RL")
+HOMOGEN_HBM = _homogeneous("HBM", "HBM")
+
+#: Sec. V-C / VI-C config1 (the default heterogeneous system): 256 MB
+#: RLDRAM + 768 MB HBM + 2x512 MB LPDDR2 on four controllers.
+HETER_CONFIG1 = SystemConfig(
+    name="Heter-config1",
+    groups=(
+        GroupSpec("lat", "RLDRAM3", 1, 256),
+        GroupSpec("bw", "HBM", 1, 768),
+        GroupSpec("pow", "LPDDR2", 2, 512),
+    ),
+)
+
+#: Sec. VI-C config2: 512 MB RLDRAM + 512 MB HBM + 1 GB LPDDR2.
+HETER_CONFIG2 = SystemConfig(
+    name="Heter-config2",
+    groups=(
+        GroupSpec("lat", "RLDRAM3", 1, 512),
+        GroupSpec("bw", "HBM", 1, 512),
+        GroupSpec("pow", "LPDDR2", 2, 512),
+    ),
+)
+
+#: Sec. VI-C config3: 768 MB RLDRAM + 768 MB HBM + 512 MB LPDDR2.
+HETER_CONFIG3 = SystemConfig(
+    name="Heter-config3",
+    groups=(
+        GroupSpec("lat", "RLDRAM3", 1, 768),
+        GroupSpec("bw", "HBM", 1, 768),
+        GroupSpec("pow", "LPDDR2", 1, 512),
+    ),
+)
+
+ALL_SYSTEMS: dict[str, SystemConfig] = {
+    c.name: c for c in (
+        HOMOGEN_DDR3, HOMOGEN_LP, HOMOGEN_RL, HOMOGEN_HBM,
+        HETER_CONFIG1, HETER_CONFIG2, HETER_CONFIG3,
+    )
+}
+
+#: Allocation policies meaningful on heterogeneous systems.
+HETERO_POLICIES = ("heter-app", "moca")

@@ -1,0 +1,95 @@
+"""Single-core runner with runtime page migration (the MOCA alternative).
+
+Replays the miss stream in epochs: each epoch runs with the current page
+table, then the migrator promotes the epoch's hottest pages and its
+overhead (page copies + TLB shootdowns) is charged to the core before
+the next epoch starts.  Pages start wherever first-touch demand paging
+puts them under the power-first chain (a migration system has no
+profile, so everything begins in the cheap module).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import CoreParams, CoreResult, InOrderWindowCore
+from repro.moca.allocation import HomogeneousPolicy, plan_placement
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.sim.single import filtered_stream
+from repro.trace.events import PAGE_BYTES
+from repro.vm.migration import HotPageMigrator, MigrationConfig, MigrationStats
+from repro.workloads.inputs import REF, build_app_trace
+
+
+def run_single_migration(app_name: str, config: SystemConfig,
+                         migration: MigrationConfig | None = None,
+                         input_name: str = REF, n_accesses: int = 120_000,
+                         core_params: CoreParams | None = None,
+                         ) -> tuple[RunMetrics, MigrationStats]:
+    """Run one application under hotness-driven migration.
+
+    Returns the usual metrics plus the migrator's cost accounting.
+    """
+    migration = migration or MigrationConfig()
+    stream, _ = filtered_stream(app_name, input_name, n_accesses)
+    layout = build_app_trace(app_name, input_name, n_accesses).layout
+    memsys = config.build()
+    allocator = config.make_allocator(memsys)
+    # No profile: everything demand-pages through the POW chain first.
+    plan_placement([stream], HomogeneousPolicy(), allocator,
+                   layouts=[layout])
+    migrator = HotPageMigrator(allocator, memsys, migration)
+
+    pt = allocator.page_table
+    n = len(stream)
+    epoch = max(1, migration.epoch_misses)
+    cycle = 0
+    inst_prev = 0
+    results: list[CoreResult] = []
+    start = 0
+    while start < n:
+        stop = min(n, start + epoch)
+        sl = stream.slice(start, stop)
+        groups, gaddrs = pt.translate_lines(sl.vline)
+        core = InOrderWindowCore(sl, groups, gaddrs, core_params,
+                                 start_cycle=cycle, inst_prev=inst_prev)
+        res = core.run_to_completion(memsys)
+        results.append(res)
+        cycle = res.cycles
+        inst_prev = int(sl.inst[-1])
+        demand = sl.demand_mask
+        cycle += migrator.end_epoch((sl.vline[demand] // PAGE_BYTES))
+        start = stop
+
+    # Compute tail after the last miss (the per-slice replays add none).
+    params = core_params or CoreParams()
+    cycle += int((stream.total_instructions - inst_prev) / params.ipc)
+    total = _merge_results(results, cycle, stream.total_instructions)
+    metrics = collect_metrics(config.name, "migration", app_name,
+                              [total], memsys)
+    return metrics, migrator.stats
+
+
+def _merge_results(results: list[CoreResult], final_cycle: int,
+                   total_instructions: int) -> CoreResult:
+    """Fold per-epoch results into one whole-run result."""
+    merged = CoreResult(
+        core_id=0,
+        cycles=final_cycle,
+        total_instructions=total_instructions,
+        n_demand=sum(r.n_demand for r in results),
+        n_load_misses=sum(r.n_load_misses for r in results),
+        n_writebacks=sum(r.n_writebacks for r in results),
+        n_prefetches=sum(r.n_prefetches for r in results),
+        n_episodes=sum(r.n_episodes for r in results),
+        mem_access_cycles=sum(r.mem_access_cycles for r in results),
+        load_stall_cycles=sum(r.load_stall_cycles for r in results),
+    )
+    for r in results:
+        for k, v in r.stall_by_obj.items():
+            merged.stall_by_obj[k] = merged.stall_by_obj.get(k, 0) + v
+        for k, v in r.load_misses_by_obj.items():
+            merged.load_misses_by_obj[k] = (
+                merged.load_misses_by_obj.get(k, 0) + v)
+        for k, v in r.demand_by_obj.items():
+            merged.demand_by_obj[k] = merged.demand_by_obj.get(k, 0) + v
+    return merged

@@ -1,0 +1,88 @@
+"""Single-core experiment runner (paper Sec. VI-A, Figs. 8–9).
+
+One application on one core against one memory system under one
+allocation policy.  Cache filtering is memoized per (app, input, length)
+— the miss stream is identical across memory systems, so the expensive
+pass runs once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cpu.core import CoreParams, InOrderWindowCore
+from repro.cpu.hierarchy import CacheHierarchy, CacheStats, MissStream
+from repro.moca.allocation import (
+    HeterAppPolicy,
+    HomogeneousPolicy,
+    MocaPolicy,
+    PlacementPolicy,
+    plan_placement,
+)
+from repro.moca.classify import Thresholds, class_letter_to_type
+from repro.moca.framework import MocaFramework
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.workloads.inputs import REF, build_app_trace
+from repro.workloads.spec import APP_CLASSES
+
+
+@lru_cache(maxsize=128)
+def filtered_stream(app_name: str, input_name: str,
+                    n_accesses: int) -> tuple[MissStream, CacheStats]:
+    """Cache-filter one application input (memoized; treat as immutable)."""
+    trace = build_app_trace(app_name, input_name, n_accesses)
+    return CacheHierarchy().filter_trace(trace)
+
+
+def make_policy(policy_name: str, app_names: list[str],
+                input_name: str, n_accesses: int,
+                thresholds: Thresholds | None = None,
+                profile_accesses: int | None = None) -> PlacementPolicy:
+    """Construct a placement policy for the given per-core applications.
+
+    * ``"homogen"`` — everything to the single group;
+    * ``"heter-app"`` — per-application class from the paper's Table III;
+    * ``"moca"`` — object types from offline profiling on the training
+      input (classification is input-independent metadata; the runtime
+      trace only resolves names to live objects).
+    """
+    if policy_name == "homogen":
+        return HomogeneousPolicy()
+    if policy_name == "heter-app":
+        return HeterAppPolicy(
+            [class_letter_to_type(APP_CLASSES[a]) for a in app_names])
+    if policy_name == "moca":
+        fw = MocaFramework(
+            thresholds=thresholds or Thresholds(),
+            profile_accesses=profile_accesses or n_accesses,
+        )
+        per_core_types = []
+        per_core_heat = []
+        for a in app_names:
+            instrumented = fw.instrument(a)
+            trace = build_app_trace(a, input_name, n_accesses)
+            per_core_types.append(fw.runtime_types(instrumented, trace))
+            per_core_heat.append(fw.runtime_heat(instrumented, trace))
+        return MocaPolicy(per_core_types, per_core_heat)
+    raise ValueError(f"unknown policy {policy_name!r}")
+
+
+def run_single(app_name: str, config: SystemConfig, policy_name: str,
+               input_name: str = REF, n_accesses: int = 120_000,
+               thresholds: Thresholds | None = None,
+               profile_accesses: int | None = None,
+               core_params: CoreParams | None = None) -> RunMetrics:
+    """Run one application on a fresh instance of ``config``."""
+    stream, _ = filtered_stream(app_name, input_name, n_accesses)
+    layout = build_app_trace(app_name, input_name, n_accesses).layout
+    memsys = config.build()
+    allocator = config.make_allocator(memsys)
+    policy = make_policy(policy_name, [app_name], input_name, n_accesses,
+                         thresholds, profile_accesses)
+    plan = plan_placement([stream], policy, allocator, layouts=[layout])
+    core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0],
+                             core_params)
+    result = core.run_to_completion(memsys)
+    return collect_metrics(config.name, policy_name, app_name,
+                           [result], memsys)

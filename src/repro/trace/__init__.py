@@ -1,0 +1,36 @@
+"""Synthetic memory-access traces.
+
+An :class:`~repro.trace.events.AccessTrace` is the unit of work the rest
+of the pipeline consumes: a time-ordered stream of virtual-address
+accesses annotated with the owning memory object, plus the virtual-memory
+layout of those objects.  Traces are generated (``repro.trace.builder``)
+from per-object behavioural specs (``repro.workloads``) using vectorized
+numpy pattern generators (``repro.trace.patterns``) — the paper's stand-in
+for running SPEC CPU2006 / SDVBS binaries under gem5.
+"""
+
+from repro.trace.events import AccessTrace, PlacedObject, VirtualLayout
+from repro.trace.patterns import (
+    sequential_offsets,
+    strided_offsets,
+    random_offsets,
+    chase_offsets,
+    hotspot_offsets,
+)
+from repro.trace.builder import TraceBuilder, ObjectBehavior
+from repro.trace.io import save_trace, load_trace
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "AccessTrace",
+    "PlacedObject",
+    "VirtualLayout",
+    "sequential_offsets",
+    "strided_offsets",
+    "random_offsets",
+    "chase_offsets",
+    "hotspot_offsets",
+    "TraceBuilder",
+    "ObjectBehavior",
+]

@@ -1,0 +1,85 @@
+"""Trace persistence: save/load :class:`AccessTrace` as ``.npz`` bundles.
+
+Synthetic traces regenerate deterministically, but persistence matters
+for two real workflows: (a) importing traces captured by external tools
+(Pin, DynamoRIO, gem5) after converting them to the column format, and
+(b) freezing a trace for byte-identical cross-machine comparisons.
+
+The format is a plain ``numpy.savez_compressed`` archive holding the
+five access columns plus a JSON-encoded layout (objects, segments), so
+it can be produced and consumed without this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.cpu.hierarchy import SEG_CODE, SEG_GLOBAL, SEG_STACK
+from repro.trace.events import AccessTrace, PlacedObject, VirtualLayout
+
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: AccessTrace, path: str | Path) -> None:
+    """Write a trace to ``path`` (conventionally ``*.trace.npz``)."""
+    layout_doc = {
+        "version": FORMAT_VERSION,
+        "objects": [
+            {"name": o.name, "vbase": o.vbase, "size_bytes": o.size_bytes,
+             "site": o.site}
+            for o in trace.layout.objects
+        ],
+        "segments": {
+            str(seg_id): {"vbase": seg.vbase, "size_bytes": seg.size_bytes,
+                          "name": seg.name}
+            for seg_id, seg in trace.layout.segments.items()
+        },
+        "total_instructions": trace.total_instructions,
+    }
+    np.savez_compressed(
+        Path(path),
+        inst=trace.inst,
+        vaddr=trace.vaddr,
+        is_write=trace.is_write,
+        obj_id=trace.obj_id,
+        dep=trace.dep,
+        layout=np.frombuffer(json.dumps(layout_doc).encode(), dtype=np.uint8),
+    )
+
+
+def load_trace(path: str | Path) -> AccessTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        doc = json.loads(bytes(data["layout"]).decode())
+        if doc.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {doc.get('version')!r}")
+        layout = VirtualLayout()
+        for obj in doc["objects"]:
+            placed = layout.place(obj["name"], obj["size_bytes"],
+                                  site=obj["site"])
+            if placed.vbase != obj["vbase"]:
+                # Layout packing changed since the trace was written;
+                # rebuild the placement verbatim instead.
+                layout.objects[-1] = PlacedObject(
+                    placed.obj_id, obj["name"], obj["vbase"],
+                    obj["size_bytes"], obj["site"])
+                layout._ranges_dirty = True
+        for seg_key, seg in doc["segments"].items():
+            seg_id = int(seg_key)
+            if seg_id in (SEG_STACK, SEG_CODE, SEG_GLOBAL):
+                layout.segments[seg_id] = PlacedObject(
+                    seg_id, seg["name"], seg["vbase"], seg["size_bytes"])
+                layout._ranges_dirty = True
+        return AccessTrace(
+            inst=data["inst"],
+            vaddr=data["vaddr"],
+            is_write=data["is_write"],
+            obj_id=data["obj_id"],
+            dep=data["dep"],
+            layout=layout,
+            total_instructions=int(doc["total_instructions"]),
+        )

@@ -1,0 +1,102 @@
+"""Vectorized address-pattern generators.
+
+Each generator returns byte *offsets inside an object* for one burst of
+accesses.  They are pure numpy (no Python-level per-access work), per the
+HPC guide's vectorization idiom.  Determinism comes from the caller's
+``numpy.random.Generator``.
+
+Pattern → microarchitectural consequence:
+
+* ``sequential``/``strided`` — spatial locality, row-buffer hits, high MLP;
+* ``random`` — no locality, row conflicts, still overlappable (high MLP);
+* ``chase`` — random *and serially dependent*: each access's address comes
+  from the previous load, so misses cannot overlap (MLP ≈ 1).  This is the
+  latency-sensitive behaviour of mcf-style workloads;
+* ``hotspot`` — Zipf-weighted page popularity: a small hot set that caches
+  well plus a cold tail (gcc-style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _aligned(offsets: np.ndarray, size: int, align: int) -> np.ndarray:
+    """Clamp into [0, size) and align down."""
+    limit = max(align, size - align)
+    out = np.minimum(offsets, limit - 1)
+    return (out // align) * align
+
+
+def sequential_offsets(start: int, n: int, size: int, access_bytes: int = 8
+                       ) -> tuple[np.ndarray, int]:
+    """Dense forward scan from ``start``; wraps at the object end.
+
+    Returns (offsets, next_start) so the caller can continue the scan in
+    the next burst — streaming applications sweep objects across bursts.
+    """
+    if size < access_bytes:
+        raise ValueError("object smaller than one access")
+    idx = start + np.arange(n, dtype=np.int64) * access_bytes
+    span = (size // access_bytes) * access_bytes
+    offsets = idx % span
+    next_start = int((start + n * access_bytes) % span)
+    return offsets, next_start
+
+
+def strided_offsets(start: int, n: int, size: int, stride: int,
+                    access_bytes: int = 8) -> tuple[np.ndarray, int]:
+    """Fixed-stride scan (column walks, structure-of-array sweeps)."""
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    idx = start + np.arange(n, dtype=np.int64) * stride
+    span = max(stride, (size // stride) * stride)
+    offsets = idx % span
+    offsets = _aligned(offsets, size, access_bytes)
+    next_start = int((start + n * stride) % span)
+    return offsets, next_start
+
+
+def random_offsets(rng: np.random.Generator, n: int, size: int,
+                   access_bytes: int = 8) -> np.ndarray:
+    """Uniform random offsets (hash tables, sparse matrices)."""
+    raw = rng.integers(0, max(1, size - access_bytes + 1), size=n, dtype=np.int64)
+    return (raw // access_bytes) * access_bytes
+
+
+def chase_offsets(rng: np.random.Generator, n: int, size: int,
+                  access_bytes: int = 8) -> np.ndarray:
+    """Pointer-chase offsets: random like :func:`random_offsets`.
+
+    The *addresses* of a chase are indistinguishable from uniform random;
+    the serial dependence lives in the ``dep`` flags the builder attaches.
+    Kept as a separate function so workload specs read declaratively.
+    """
+    return random_offsets(rng, n, size, access_bytes)
+
+
+def hotspot_offsets(rng: np.random.Generator, n: int, size: int,
+                    hot_fraction: float = 0.1, hot_weight: float = 0.9,
+                    access_bytes: int = 8) -> np.ndarray:
+    """Bimodal popularity: ``hot_weight`` of accesses hit the first
+    ``hot_fraction`` of the object, the rest spread uniformly.
+
+    With a hot region smaller than the LLC this produces the low-MPKI,
+    cache-friendly behaviour of compiler/vision bookkeeping structures.
+    """
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    if not 0.0 <= hot_weight <= 1.0:
+        raise ValueError("hot_weight must be in [0, 1]")
+    hot_size = max(access_bytes, int(size * hot_fraction))
+    in_hot = rng.random(n) < hot_weight
+    offsets = np.empty(n, dtype=np.int64)
+    n_hot = int(in_hot.sum())
+    if n_hot:
+        offsets[in_hot] = rng.integers(0, max(1, hot_size - access_bytes + 1),
+                                       size=n_hot, dtype=np.int64)
+    n_cold = n - n_hot
+    if n_cold:
+        offsets[~in_hot] = rng.integers(0, max(1, size - access_bytes + 1),
+                                        size=n_cold, dtype=np.int64)
+    return (offsets // access_bytes) * access_bytes

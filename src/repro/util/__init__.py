@@ -1,0 +1,39 @@
+"""Shared utilities: deterministic RNG streams, unit helpers, validation.
+
+Everything random in the reproduction flows through :func:`stream` so that
+experiments are reproducible run-to-run and the *training* vs *reference*
+input split of the paper maps onto distinct, named seed streams.
+"""
+
+from repro.util.rng import stream, derive_seed
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    ns_to_cycles,
+    cycles_to_ns,
+    mw_per_gb,
+    watts,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_power_of_two,
+    check_in,
+)
+
+__all__ = [
+    "stream",
+    "derive_seed",
+    "KIB",
+    "MIB",
+    "GIB",
+    "ns_to_cycles",
+    "cycles_to_ns",
+    "mw_per_gb",
+    "watts",
+    "check_positive",
+    "check_non_negative",
+    "check_power_of_two",
+    "check_in",
+]

@@ -1,0 +1,40 @@
+"""Named, deterministic random-number streams.
+
+The paper profiles applications on *training* inputs and evaluates on
+*reference* inputs (Sec. V-A).  In this reproduction an "input" is a seed
+stream; deriving independent generators from (purpose, *keys) guarantees
+that, e.g., the trace generated for ``("mcf", "train")`` never aliases the
+one for ``("mcf", "ref")`` while both stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Root seed for the whole reproduction.  Changing it re-rolls every
+#: synthetic workload coherently (useful for robustness studies).
+ROOT_SEED = 0x4D0CA
+
+
+def derive_seed(*keys: object, root: int = ROOT_SEED) -> int:
+    """Derive a stable 64-bit seed from a tuple of hashable keys.
+
+    Uses SHA-256 over the repr of the keys (stable across processes,
+    unlike ``hash``) mixed with the root seed.
+    """
+    payload = repr((root,) + tuple(keys)).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def stream(*keys: object, root: int = ROOT_SEED) -> np.random.Generator:
+    """Return an independent ``numpy.random.Generator`` for the given keys.
+
+    >>> a = stream("mcf", "train")
+    >>> b = stream("mcf", "train")
+    >>> bool((a.integers(0, 1 << 30, 8) == b.integers(0, 1 << 30, 8)).all())
+    True
+    """
+    return np.random.default_rng(derive_seed(*keys, root=root))

@@ -1,0 +1,45 @@
+"""Unit helpers for capacities, time, and power.
+
+All simulator time is integer *CPU cycles* at the core clock (1 GHz in the
+paper's Table I, so 1 cycle == 1 ns).  Device datasheets speak nanoseconds;
+these helpers centralize the conversion so the rest of the code never
+multiplies by a raw clock constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Core clock of the simulated system (Table I: 1 GHz x86 OoO core).
+CORE_CLOCK_HZ = 1_000_000_000
+
+
+def ns_to_cycles(ns: float, clock_hz: int = CORE_CLOCK_HZ) -> int:
+    """Convert nanoseconds to an integer number of core cycles (ceiling).
+
+    Ceiling matches how a synchronous controller must round analog device
+    timings up to whole clock edges.
+    """
+    return int(math.ceil(ns * clock_hz / 1e9))
+
+
+def cycles_to_ns(cycles: float, clock_hz: int = CORE_CLOCK_HZ) -> float:
+    """Convert core cycles back to nanoseconds."""
+    return cycles * 1e9 / clock_hz
+
+
+def mw_per_gb(milliwatts: float, capacity_bytes: int) -> float:
+    """Scale a per-GB standby power figure (Table II) to a module's capacity.
+
+    Returns watts.
+    """
+    return milliwatts * 1e-3 * (capacity_bytes / GIB)
+
+
+def watts(w_per_gb: float, capacity_bytes: int) -> float:
+    """Scale a per-GB active power figure (Table II) to a module's capacity."""
+    return w_per_gb * (capacity_bytes / GIB)

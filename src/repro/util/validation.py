@@ -1,0 +1,40 @@
+"""Tiny argument-validation helpers used across the package.
+
+These raise ``ValueError`` with the offending name embedded, which keeps
+constructor bodies short while giving actionable messages — important in a
+simulator where a silently-wrong timing parameter corrupts every result
+downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Require ``value`` to be a positive power of two (sizes, ways, banks)."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return value
+
+
+def check_in(name: str, value: object, allowed: Iterable[object]) -> object:
+    """Require ``value`` to be one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

@@ -1,0 +1,37 @@
+"""OS memory-management substrate (paper Secs. III-C, IV-D, Fig. 6).
+
+MOCA's runtime half is an OS page-allocation policy: the heap's virtual
+space is partitioned by object type, and on each page walk the OS hands
+the faulting virtual page a physical frame from the memory module that
+matches the page's type, falling back to the next-best module when the
+preferred one is full.
+
+This subpackage provides those mechanisms independent of any policy:
+
+* :mod:`repro.vm.physmem` — per-channel-group physical frame pools;
+* :mod:`repro.vm.pagetable` — virtual→physical map with demand paging,
+  plus a small TLB model for walk statistics;
+* :mod:`repro.vm.heap` — typed heap partitions (Lat/BW/Pow, Fig. 6);
+* :mod:`repro.vm.allocator` — the fallback-chain frame allocator.
+"""
+
+from repro.vm.physmem import FramePool, OutOfMemory
+from repro.vm.pagetable import PageTable, TLB
+from repro.vm.heap import ObjectType, TypedHeap, FALLBACK_CHAINS
+from repro.vm.allocator import OSPageAllocator, AllocationStats
+from repro.vm.migration import HotPageMigrator, MigrationConfig, MigrationStats
+
+__all__ = [
+    "FramePool",
+    "OutOfMemory",
+    "PageTable",
+    "TLB",
+    "ObjectType",
+    "TypedHeap",
+    "FALLBACK_CHAINS",
+    "OSPageAllocator",
+    "AllocationStats",
+    "HotPageMigrator",
+    "MigrationConfig",
+    "MigrationStats",
+]

@@ -1,0 +1,100 @@
+"""The OS frame allocator with per-type fallback chains (paper Sec. IV-D).
+
+Given the channel-group *roles* of a memory system (which group is the
+latency module, which the bandwidth module, ...), the allocator resolves
+an object type's fallback chain to concrete groups and hands out frames,
+spilling to the next-best module when the preferred pool is full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vm.heap import FALLBACK_CHAINS, ObjectType
+from repro.vm.pagetable import PageTable
+from repro.vm.physmem import FramePool, OutOfMemory
+
+
+@dataclass
+class AllocationStats:
+    """Placement outcome counters.
+
+    ``placed[type][group]`` counts pages of each object type per group;
+    ``spills[type]`` counts pages that missed their first-choice module.
+    """
+
+    placed: dict[ObjectType, dict[int, int]] = field(
+        default_factory=lambda: {t: {} for t in ObjectType})
+    spills: dict[ObjectType, int] = field(
+        default_factory=lambda: {t: 0 for t in ObjectType})
+
+    def record(self, typ: ObjectType, group: int, spilled: bool) -> None:
+        by_group = self.placed[typ]
+        by_group[group] = by_group.get(group, 0) + 1
+        if spilled:
+            self.spills[typ] += 1
+
+    @property
+    def total_pages(self) -> int:
+        return sum(n for by_g in self.placed.values() for n in by_g.values())
+
+    def spill_rate(self, typ: ObjectType) -> float:
+        total = sum(self.placed[typ].values())
+        return self.spills[typ] / total if total else 0.0
+
+
+class OSPageAllocator:
+    """Demand-paging allocator over role-named frame pools.
+
+    Args:
+        pools: group index → :class:`FramePool` (one per channel group).
+        roles: role name (``"lat" | "bw" | "pow" | "main"``) → group index.
+            A role may be absent (e.g. no RLDRAM in a homogeneous system);
+            chains skip absent roles.
+        page_table: Shared page table to record mappings into.
+    """
+
+    def __init__(self, pools: dict[int, FramePool], roles: dict[str, int],
+                 page_table: PageTable | None = None):
+        if not pools:
+            raise ValueError("allocator needs at least one pool")
+        unknown = set(roles.values()) - set(pools)
+        if unknown:
+            raise ValueError(f"roles reference missing groups {sorted(unknown)}")
+        self.pools = pools
+        self.roles = dict(roles)
+        self.page_table = page_table or PageTable()
+        self.stats = AllocationStats()
+        # Resolve each type's role chain to concrete group indices once.
+        self._chains: dict[ObjectType, list[int]] = {}
+        for typ, role_chain in FALLBACK_CHAINS.items():
+            groups = [roles[r] for r in role_chain if r in roles]
+            # Any group not already in the chain is a last-ditch fallback,
+            # in index order (never raise while memory remains anywhere).
+            for g in sorted(pools):
+                if g not in groups:
+                    groups.append(g)
+            self._chains[typ] = groups
+
+    def chain_for(self, typ: ObjectType) -> list[int]:
+        """Concrete group order this type's pages try, best-fit first."""
+        return list(self._chains[typ])
+
+    def allocate_page(self, vpage: int, typ: ObjectType) -> tuple[int, int]:
+        """Map ``vpage`` with a frame of type ``typ``; returns (group, frame).
+
+        Raises :class:`OutOfMemory` when every pool is exhausted.
+        """
+        chain = self._chains[typ]
+        for i, group in enumerate(chain):
+            frame = self.pools[group].allocate()
+            if frame is not None:
+                self.page_table.map_page(vpage, group, frame)
+                self.stats.record(typ, group, spilled=i > 0)
+                return group, frame
+        raise OutOfMemory(
+            f"no frames left in any of {len(chain)} pools for type {typ}")
+
+    def free_frames(self) -> dict[int, int]:
+        """Remaining frames per group."""
+        return {g: p.frames_left for g, p in self.pools.items()}

@@ -1,0 +1,66 @@
+"""Typed heap partitions and module fallback chains (paper Fig. 6).
+
+MOCA splits the heap's virtual space into one partition per memory-module
+type — latency (``LAT``), bandwidth (``BW``) and power (``POW``) — and
+instruments ``malloc`` so every heap object lands in the partition of its
+profiled type.  The OS then knows a page's desired module *from its
+virtual address alone*.
+
+In the reproduction, objects keep their natural layout addresses and the
+partition is tracked as explicit object→type / page→type metadata — the
+information content is identical (address→type is still a pure function),
+without re-basing every trace address.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ObjectType(str, Enum):
+    """Memory-object classes of the paper's Fig. 5."""
+
+    LAT = "lat"   # latency-sensitive  → Lat_Mem (RLDRAM)
+    BW = "bw"     # bandwidth-sensitive → BW_Mem (HBM)
+    POW = "pow"   # non-memory-intensive → Pow_Mem (LPDDR)
+
+
+#: Module-role preference per type (paper Sec. III-C: proceed to the next
+#: best module when the best-fit is full; "next best for HBM is LPDDR").
+#: Roles are resolved to channel groups by the system config; roles absent
+#: from a system are skipped.
+FALLBACK_CHAINS: dict[ObjectType, tuple[str, ...]] = {
+    ObjectType.LAT: ("lat", "bw", "pow", "main"),
+    ObjectType.BW: ("bw", "pow", "lat", "main"),
+    ObjectType.POW: ("pow", "bw", "lat", "main"),
+}
+
+
+class TypedHeap:
+    """Tracks the type assigned to every heap object (and thus its pages).
+
+    ``None`` types fall back to :attr:`default_type` — the paper routes
+    unclassified pages (stack, code, globals, unprofiled objects) to the
+    LPDDR module (Secs. IV-D, VI-D).
+    """
+
+    def __init__(self, default_type: ObjectType = ObjectType.POW):
+        self.default_type = default_type
+        self._types: dict[int, ObjectType] = {}
+
+    def set_type(self, obj_id: int, typ: ObjectType) -> None:
+        self._types[obj_id] = typ
+
+    def type_of(self, obj_id: int) -> ObjectType:
+        """Type of an object; segments/unknown objects use the default."""
+        return self._types.get(obj_id, self.default_type)
+
+    def typed_objects(self) -> dict[int, ObjectType]:
+        return dict(self._types)
+
+    def partition_counts(self) -> dict[ObjectType, int]:
+        """How many objects live in each virtual partition."""
+        counts = {t: 0 for t in ObjectType}
+        for t in self._types.values():
+            counts[t] += 1
+        return counts

@@ -1,0 +1,166 @@
+"""Hotness-driven page migration — the runtime alternative MOCA argues
+against (paper Sec. IV-E and related work [19], [33]–[36]).
+
+Migration policies need no offline profile: they monitor per-page access
+counts at runtime and periodically move the hottest pages into the
+fastest module.  The price is continuous monitoring plus page-copy
+traffic and TLB shootdowns on every migration — costs MOCA avoids by
+deciding placement at allocation time.  This module provides the
+mechanism so the trade-off can be measured (see
+``repro.sim.migration`` and the migration benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memctrl.system import MemorySystem
+from repro.trace.events import PAGE_BYTES
+from repro.vm.allocator import OSPageAllocator
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Knobs of the interval-based migrator.
+
+    Attributes:
+        epoch_misses: LLC misses between migration decisions.
+        max_migrations_per_epoch: Hot-page moves per decision point.
+        target_role: Module role hot pages are promoted into.
+        shootdown_cycles: Fixed per-migration cost (TLB shootdown +
+            kernel bookkeeping), charged to the core.
+    """
+
+    epoch_misses: int = 4_000
+    max_migrations_per_epoch: int = 32
+    target_role: str = "lat"
+    shootdown_cycles: int = 1_000
+
+
+@dataclass
+class MigrationStats:
+    """What migration did and what it cost."""
+
+    n_epochs: int = 0
+    n_migrations: int = 0
+    n_swaps: int = 0
+    copy_cycles: int = 0
+    shootdown_cycles: int = 0
+    bytes_copied: int = 0
+
+    @property
+    def overhead_cycles(self) -> int:
+        return self.copy_cycles + self.shootdown_cycles
+
+
+class HotPageMigrator:
+    """Promotes the hottest pages of each epoch into the target group.
+
+    When the target module is full, the migrator *swaps*: the coldest
+    currently-promoted page is demoted to make room (both copies are
+    charged).  Hotness is the page's demand-miss count in the last epoch.
+    """
+
+    def __init__(self, allocator: OSPageAllocator, memsys: MemorySystem,
+                 config: MigrationConfig | None = None):
+        self.allocator = allocator
+        self.memsys = memsys
+        self.config = config or MigrationConfig()
+        role = self.config.target_role
+        if role not in allocator.roles:
+            raise ValueError(f"system has no {role!r} module to migrate into")
+        self.target_group = allocator.roles[role]
+        self.stats = MigrationStats()
+        #: vpage → epoch miss count for pages currently in the target group.
+        self._resident_heat: dict[int, int] = {}
+
+    def _copy_cost_cycles(self, src_group: int, dst_group: int) -> int:
+        """Bus time to read a page from src and write it to dst."""
+        src = self.memsys.groups[src_group].timing
+        dst = self.memsys.groups[dst_group].timing
+        return (src.transfer_cycles(PAGE_BYTES)
+                + dst.transfer_cycles(PAGE_BYTES))
+
+    def _charge_copy(self, src_group: int, dst_group: int) -> int:
+        cycles = self._copy_cost_cycles(src_group, dst_group)
+        self.stats.copy_cycles += cycles
+        self.stats.shootdown_cycles += self.config.shootdown_cycles
+        self.stats.bytes_copied += 2 * PAGE_BYTES
+        # The copy occupies both groups' buses (power + later queueing).
+        for g in (src_group, dst_group):
+            mod = self.memsys.groups[g].modules[0]
+            mod.bus_busy_cycles += self.memsys.groups[g].timing.transfer_cycles(
+                PAGE_BYTES)
+            mod.bytes_transferred += PAGE_BYTES
+        return cycles + self.config.shootdown_cycles
+
+    def end_epoch(self, vpages: np.ndarray) -> int:
+        """Decide migrations from one epoch's demand-miss page stream.
+
+        Args:
+            vpages: Page-table keys (core-prefixed vpage numbers) of the
+                epoch's demand misses.
+
+        Returns:
+            Cycles of migration overhead to charge to the core.
+        """
+        self.stats.n_epochs += 1
+        if len(vpages) == 0:
+            return 0
+        pages, counts = np.unique(vpages, return_counts=True)
+        order = np.argsort(counts)[::-1]
+        # Refresh heat for already-promoted pages.
+        page_list = pages.tolist()
+        count_list = counts.tolist()
+        for vp, c in zip(page_list, count_list):
+            if vp in self._resident_heat:
+                self._resident_heat[vp] = c
+        pt = self.allocator.page_table
+        pool = self.allocator.pools[self.target_group]
+        overhead = 0
+        moved = 0
+        for i in order.tolist():
+            if moved >= self.config.max_migrations_per_epoch:
+                break
+            vp, heat = page_list[i], count_list[i]
+            group, _ = pt.lookup(vp)
+            if group == self.target_group:
+                continue
+            frame = pool.allocate()
+            if frame is None:
+                victim = self._coldest_resident()
+                if victim is None or self._resident_heat[victim] >= heat:
+                    break  # nothing colder to evict — stop promoting
+                frame = self._demote(victim)
+                overhead_cycles = self._charge_copy(self.target_group, group)
+                overhead += overhead_cycles
+                self.stats.n_swaps += 1
+            old_group, old_frame = pt.remap(vp, self.target_group, frame)
+            self.allocator.pools[old_group].free(old_frame)
+            overhead += self._charge_copy(old_group, self.target_group)
+            self._resident_heat[vp] = heat
+            self.stats.n_migrations += 1
+            moved += 1
+        return overhead
+
+    def _coldest_resident(self) -> int | None:
+        if not self._resident_heat:
+            return None
+        return min(self._resident_heat, key=self._resident_heat.get)
+
+    def _demote(self, vpage: int) -> int:
+        """Move a promoted page back to its type's next-best pool;
+        returns the freed target-group frame."""
+        pt = self.allocator.page_table
+        _, frame = pt.lookup(vpage)
+        for group in self.allocator.pools:
+            if group == self.target_group:
+                continue
+            new_frame = self.allocator.pools[group].allocate()
+            if new_frame is not None:
+                pt.remap(vpage, group, new_frame)
+                del self._resident_heat[vpage]
+                return frame
+        raise RuntimeError("no pool has room to demote into")

@@ -1,0 +1,125 @@
+"""Page table and TLB models.
+
+The page table maps virtual page numbers to ``(channel group, frame)``
+pairs.  Mappings are created on demand (first touch) by the OS allocator;
+translation of whole miss streams is vectorized with numpy afterwards,
+since the mapping is immutable once an experiment's stream is planned.
+
+The TLB model mirrors the paper's Sec. IV-D narrative (TLB hit → PTE,
+miss → page walk) and is used for statistics; its latency contribution is
+identical across memory systems and thus cancels in every normalized
+figure, so the experiment drivers leave it disabled by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.events import PAGE_BYTES
+
+
+class PageTable:
+    """vpage → (group, frame) mapping with vectorized bulk translation."""
+
+    def __init__(self):
+        self._map: dict[int, tuple[int, int]] = {}
+        self._frozen_keys: np.ndarray | None = None
+        self._frozen_groups: np.ndarray | None = None
+        self._frozen_frames: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, vpage: int) -> bool:
+        return vpage in self._map
+
+    def map_page(self, vpage: int, group: int, frame: int) -> None:
+        if vpage in self._map:
+            raise ValueError(f"vpage {vpage:#x} already mapped")
+        self._map[vpage] = (group, frame)
+        self._frozen_keys = None  # invalidate the vectorized index
+
+    def lookup(self, vpage: int) -> tuple[int, int]:
+        try:
+            return self._map[vpage]
+        except KeyError:
+            raise KeyError(f"page fault: vpage {vpage:#x} has no mapping") from None
+
+    def remap(self, vpage: int, group: int, frame: int) -> tuple[int, int]:
+        """Move an existing mapping (page migration); returns the old
+        (group, frame) so the caller can free the vacated frame."""
+        old = self.lookup(vpage)
+        self._map[vpage] = (group, frame)
+        self._frozen_keys = None
+        return old
+
+    def _freeze(self) -> None:
+        keys = np.fromiter(self._map.keys(), dtype=np.int64, count=len(self._map))
+        order = np.argsort(keys)
+        self._frozen_keys = keys[order]
+        groups = np.fromiter((g for g, _ in self._map.values()),
+                             dtype=np.int32, count=len(self._map))
+        frames = np.fromiter((f for _, f in self._map.values()),
+                             dtype=np.int64, count=len(self._map))
+        self._frozen_groups = groups[order]
+        self._frozen_frames = frames[order]
+
+    def translate_lines(self, vlines: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Translate line addresses to (group, group-local physical address).
+
+        Every page must already be mapped (the planner touches them first).
+        """
+        if self._frozen_keys is None:
+            self._freeze()
+        vpages = vlines // PAGE_BYTES
+        idx = np.searchsorted(self._frozen_keys, vpages)
+        if (idx >= len(self._frozen_keys)).any() or \
+                (self._frozen_keys[np.minimum(idx, len(self._frozen_keys) - 1)]
+                 != vpages).any():
+            missing = vpages[(idx >= len(self._frozen_keys)) |
+                             (self._frozen_keys[np.minimum(idx, len(self._frozen_keys) - 1)] != vpages)]
+            raise KeyError(f"page fault on {len(missing)} pages, first "
+                           f"{missing[0]:#x}")
+        groups = self._frozen_groups[idx]
+        gaddr = self._frozen_frames[idx] * PAGE_BYTES + (vlines % PAGE_BYTES)
+        return groups, gaddr
+
+    def pages_in_group(self, group: int) -> int:
+        """How many mapped pages landed in a channel group."""
+        return sum(1 for g, _ in self._map.values() if g == group)
+
+
+class TLB:
+    """Fully-associative LRU TLB (statistics model)."""
+
+    def __init__(self, entries: int = 64):
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self._store: dict[int, None] = {}
+        self.n_hits = 0
+        self.n_misses = 0
+
+    def access(self, vpage: int) -> bool:
+        """Touch a vpage; returns hit/miss and updates LRU order."""
+        if vpage in self._store:
+            del self._store[vpage]
+            self._store[vpage] = None
+            self.n_hits += 1
+            return True
+        self.n_misses += 1
+        if len(self._store) >= self.entries:
+            del self._store[next(iter(self._store))]
+        self._store[vpage] = None
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        n = self.n_hits + self.n_misses
+        return self.n_hits / n if n else 0.0
+
+    def simulate_stream(self, vlines: np.ndarray) -> float:
+        """Hit rate over a line-address stream (bulk helper)."""
+        for vp in (vlines // PAGE_BYTES).tolist():
+            self.access(vp)
+        return self.hit_rate

@@ -1,0 +1,64 @@
+"""Physical frame pools, one per channel group.
+
+The OS "maintains the starting, ending, and the next available page number
+of each memory module" (paper Sec. IV-D); a :class:`FramePool` is exactly
+that bump allocator, with an optional free list so long-running scenarios
+can return frames.
+"""
+
+from __future__ import annotations
+
+from repro.trace.events import PAGE_BYTES
+
+
+class OutOfMemory(RuntimeError):
+    """Raised when every module in a fallback chain is exhausted."""
+
+
+class FramePool:
+    """Frames of one channel group, allocated in ascending order."""
+
+    def __init__(self, capacity_bytes: int, group: int, name: str = ""):
+        if capacity_bytes < PAGE_BYTES:
+            raise ValueError("pool smaller than one page")
+        self.group = group
+        self.name = name
+        self.n_frames = capacity_bytes // PAGE_BYTES
+        self._next = 0
+        self._free: list[int] = []
+        self.n_allocated = 0
+
+    @property
+    def frames_left(self) -> int:
+        return self.n_frames - self._next + len(self._free)
+
+    @property
+    def full(self) -> bool:
+        return self.frames_left == 0
+
+    def allocate(self) -> int | None:
+        """Return the next free frame number, or ``None`` when full."""
+        if self._free:
+            frame = self._free.pop()
+        elif self._next < self.n_frames:
+            frame = self._next
+            self._next += 1
+        else:
+            return None
+        self.n_allocated += 1
+        return frame
+
+    def free(self, frame: int) -> None:
+        """Return a frame to the pool."""
+        if not 0 <= frame < self._next:
+            raise ValueError(f"frame {frame} was never allocated")
+        self._free.append(frame)
+        self.n_allocated -= 1
+
+    @property
+    def utilization(self) -> float:
+        return self.n_allocated / self.n_frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FramePool({self.name or self.group}, "
+                f"{self.n_allocated}/{self.n_frames} frames)")

@@ -1,0 +1,44 @@
+"""Synthetic stand-ins for the paper's SPEC CPU2006 / SDVBS applications.
+
+Real SPEC/SDVBS binaries (and gem5 to run them) are unavailable offline,
+so each application is modelled as a set of heap-object behaviours whose
+cache/MLP signatures reproduce the paper's published characterization:
+
+* Table III classes — L: mcf, milc, libquantum, disparity;
+  B: mser, lbm, tracking; N: gcc, sift, stitch;
+* Fig. 2 object scatter — a few hot objects per app, wide MPKI/MLP spread,
+  e.g. disparity's two major objects (the lower-MPKI one allocated first,
+  which is what trips up Heter-App in Sec. VI-A);
+* Fig. 16 — stack/code/global segments with near-zero L2 MPKI.
+
+Object *sizes* are scaled 1:8 against the paper (as are module capacities
+in ``repro.sim.config``) so that laptop-scale traces exercise the same
+capacity-pressure regimes: an application's hot footprint still exceeds
+the RLDRAM module, forcing the fallback chains of Sec. III-C.
+"""
+
+from repro.workloads.spec import (
+    AppSpec,
+    APPS,
+    APP_CLASSES,
+    app,
+    apps_in_class,
+)
+from repro.workloads.inputs import TRAIN, REF, build_app_trace, input_names
+from repro.workloads.mixes import WorkloadMix, MIXES, mix, parse_mix_name
+
+__all__ = [
+    "AppSpec",
+    "APPS",
+    "APP_CLASSES",
+    "app",
+    "apps_in_class",
+    "TRAIN",
+    "REF",
+    "build_app_trace",
+    "input_names",
+    "WorkloadMix",
+    "MIXES",
+    "mix",
+    "parse_mix_name",
+]

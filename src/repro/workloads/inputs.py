@@ -1,0 +1,80 @@
+"""Training vs reference input instantiation (paper Sec. V-A).
+
+The paper profiles on *training* inputs and evaluates on *reference*
+inputs (SPEC's train/ref sets; two different MIT-Adobe images for SDVBS).
+Here an input is a deterministic perturbation of the application spec:
+
+* the **train** input uses the spec verbatim;
+* the **ref** input scales object sizes by ~1.1–1.25x and jitters access
+  weights by ±10%, with an independent RNG stream for the trace itself.
+
+Behaviour is input-stable by construction — the premise MOCA relies on
+("applications with fairly similar behaviour across different input
+sets") — while addresses, interleavings, and footprints all change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+
+from repro.trace.builder import ObjectBehavior, TraceBuilder
+from repro.trace.events import AccessTrace
+from repro.util.rng import stream
+from repro.workloads.spec import AppSpec, app
+
+import re
+
+TRAIN = "train"
+REF = "ref"
+_INPUTS = (TRAIN, REF)
+#: Accepted input names: ``train``, ``ref``, and numbered reference
+#: variants ``ref2``, ``ref3``, ... (independent perturbations used by
+#: the seed-variance robustness study, ``repro.experiments.variance``).
+_INPUT_RE = re.compile(r"^(train|ref\d*)$")
+
+
+def input_names() -> tuple[str, ...]:
+    return _INPUTS
+
+
+def is_valid_input(name: str) -> bool:
+    return bool(_INPUT_RE.match(name))
+
+
+def _perturbed(spec: AppSpec, input_name: str) -> tuple[ObjectBehavior, ...]:
+    """Deterministically perturb the spec's behaviours for an input."""
+    if input_name == TRAIN:
+        return spec.behaviors
+    rng = stream("input-perturb", spec.name, input_name)
+    out = []
+    for b in spec.behaviors:
+        size_f = 1.0 + float(rng.uniform(0.02, 0.08))
+        weight_f = 1.0 + float(rng.uniform(-0.10, 0.10))
+        if b.segment is not None:
+            # Segments keep their size (the OS fixes them); jitter weight only.
+            out.append(replace(b, weight=b.weight * weight_f))
+        else:
+            out.append(replace(
+                b,
+                size_bytes=max(4096, int(b.size_bytes * size_f)),
+                weight=b.weight * weight_f,
+            ))
+    return tuple(out)
+
+
+@lru_cache(maxsize=64)
+def build_app_trace(app_name: str, input_name: str = TRAIN,
+                    n_accesses: int = 200_000) -> AccessTrace:
+    """Build (and memoize) the access trace of one application input.
+
+    The returned trace is shared across callers — treat it as immutable.
+    """
+    if not is_valid_input(input_name):
+        raise ValueError(
+            f"input must be 'train', 'ref', or 'refN', got {input_name!r}")
+    spec = app(app_name)
+    behaviors = _perturbed(spec, input_name)
+    builder = TraceBuilder(list(behaviors))
+    rng = stream("trace", app_name, input_name, n_accesses)
+    return builder.build(n_accesses, rng)

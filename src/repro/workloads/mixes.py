@@ -1,0 +1,72 @@
+"""Multi-program workload sets (paper Sec. V-D / VI-B).
+
+A mix name like ``2L1B1N`` means two latency-sensitive, one
+bandwidth-sensitive, and one non-memory-intensive application on the
+4-core system.  Applications are drawn round-robin from the Table III
+class lists so every mix is deterministic and documented.
+
+The paper plots ten multicore sets without naming all of them; we use the
+ten below and note in EXPERIMENTS.md that the five N-containing sets play
+the role of the paper's "last five workload sets" (Sec. VI-B).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.workloads.spec import apps_in_class
+
+_MIX_RE = re.compile(r"(\d+)([LBN])")
+
+
+def parse_mix_name(name: str) -> dict[str, int]:
+    """``"2L1B1N"`` → ``{"L": 2, "B": 1, "N": 1}`` (missing classes → 0)."""
+    counts = {"L": 0, "B": 0, "N": 0}
+    consumed = 0
+    for m in _MIX_RE.finditer(name):
+        counts[m.group(2)] += int(m.group(1))
+        consumed += len(m.group(0))
+    if consumed != len(name) or sum(counts.values()) == 0:
+        raise ValueError(f"malformed mix name {name!r} (expected e.g. '2L1B1N')")
+    return counts
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named set of applications for the multicore system."""
+
+    name: str
+    apps: tuple[str, ...]
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.apps)
+
+
+def mix(name: str) -> WorkloadMix:
+    """Build the canonical mix for a name like ``3L1B``.
+
+    Apps are taken round-robin from each class's canonical order, so
+    ``3L1B`` = (mcf, milc, libquantum, mser) and ``4L`` wraps back to
+    mcf's class list as needed.
+    """
+    counts = parse_mix_name(name)
+    chosen: list[str] = []
+    for cls in ("L", "B", "N"):
+        pool = apps_in_class(cls)
+        for i in range(counts[cls]):
+            chosen.append(pool[i % len(pool)])
+    return WorkloadMix(name=name, apps=tuple(chosen))
+
+
+#: The ten multicore workload sets used by Figs. 10–13.  The first five
+#: stress RLDRAM/HBM contention; the last five include N apps (the paper's
+#: "last five workload sets also consist of non-memory-intensive
+#: applications").
+MIX_NAMES = (
+    "4L", "3L1B", "2L2B", "1L3B", "4B",
+    "3L1N", "2L1B1N", "1L1B2N", "2B2N", "1B3N",
+)
+
+MIXES: dict[str, WorkloadMix] = {n: mix(n) for n in MIX_NAMES}

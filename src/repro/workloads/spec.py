@@ -1,0 +1,286 @@
+"""Application specifications: ten synthetic SPEC CPU2006 / SDVBS models.
+
+Each :class:`AppSpec` lists the heap objects of the application with the
+access behaviour that gives the paper's Fig. 2 object scatter.  Object
+names echo the real programs' dominant data structures; sizes are the
+paper's working sets scaled 1:8 (see package docstring).
+
+Behaviour → classification mechanics refresher:
+
+* ``chase`` + large size → high MPKI, serial misses → latency-sensitive;
+* ``seq``/``strided`` + small ``gap_mean`` + large size → high MPKI, many
+  misses per ROB window → bandwidth-sensitive;
+* ``hotspot`` with a cache-resident hot set → sub-threshold MPKI → neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.hierarchy import SEG_CODE, SEG_GLOBAL, SEG_STACK
+from repro.trace.builder import ObjectBehavior
+from repro.util.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One application model.
+
+    Attributes:
+        name: Application name (lower case, matches the paper).
+        suite: ``"spec2006"`` or ``"sdvbs"``.
+        paper_class: Table III class — ``"L"``, ``"B"`` or ``"N"``.
+        behaviors: Heap + segment behaviours, *in allocation order* (the
+            order a run instantiates the objects — Heter-App and
+            first-touch allocation are order-sensitive, Sec. VI-A).
+        description: One-line gloss of what the real program does.
+    """
+
+    name: str
+    suite: str
+    paper_class: str
+    behaviors: tuple[ObjectBehavior, ...]
+    description: str = ""
+
+    def heap_behaviors(self) -> tuple[ObjectBehavior, ...]:
+        return tuple(b for b in self.behaviors if b.segment is None)
+
+    def heap_footprint_bytes(self) -> int:
+        return sum(b.size_bytes for b in self.heap_behaviors())
+
+
+def _segments(stack_w: float = 0.12, code_w: float = 0.05, glob_w: float = 0.03,
+              ) -> tuple[ObjectBehavior, ...]:
+    """Default stack/code/global behaviours: small, hot, cache-resident.
+
+    Their near-zero L2 MPKI is the observation behind the paper's Fig. 16
+    (and the reason MOCA routes these segments to LPDDR, Sec. VI-D).
+    """
+    return (
+        ObjectBehavior("[stack]", 48 * KIB, stack_w, pattern="hotspot",
+                       hot_fraction=0.25, hot_weight=0.95, write_frac=0.45,
+                       gap_mean=4, burst_mean=8, segment=SEG_STACK),
+        ObjectBehavior("[code]", 192 * KIB, code_w, pattern="hotspot",
+                       hot_fraction=0.2, hot_weight=0.92, write_frac=0.0,
+                       gap_mean=6, burst_mean=6, segment=SEG_CODE),
+        ObjectBehavior("[global]", 96 * KIB, glob_w, pattern="hotspot",
+                       hot_fraction=0.3, hot_weight=0.9, write_frac=0.3,
+                       gap_mean=6, burst_mean=6, segment=SEG_GLOBAL),
+    )
+
+
+def _B(name: str, size: int, weight: float, site: int, **kw) -> ObjectBehavior:
+    return ObjectBehavior(name, size, weight, site=site, **kw)
+
+
+# --------------------------------------------------------------------------------
+# Latency-sensitive applications (Table III, class L)
+# --------------------------------------------------------------------------------
+
+MCF = AppSpec(
+    name="mcf", suite="spec2006", paper_class="L",
+    description="network-simplex min-cost flow: pointer-chasing over nodes/arcs",
+    # graph_blob/init_buf are setup allocations: large, touched broadly,
+    # rarely re-accessed.  They are instantiated first, so Heter-App
+    # squanders RLDRAM on them while MOCA sends them to LPDDR (the Fig. 2
+    # "many cold objects inside a hot application" structure).
+    behaviors=(
+        _B("graph_blob", 10 * MIB, 0.008, site=100, pattern="strided",
+           stride=4096, gap_mean=25, burst_mean=8),
+        _B("init_buf", 10 * MIB, 0.008, site=106, pattern="strided",
+           stride=4096, gap_mean=25, burst_mean=8, write_frac=0.6),
+        _B("nodes", 18 * MIB, 0.26, site=101, pattern="chase",
+           gap_mean=18, burst_mean=24, write_frac=0.15),
+        _B("arcs", 34 * MIB, 0.30, site=102, pattern="chase",
+           gap_mean=14, burst_mean=32, write_frac=0.10),
+        _B("dual_costs", 3 * MIB, 0.06, site=103, pattern="rand",
+           dep_prob=0.3, gap_mean=10, burst_mean=16, write_frac=0.25),
+        _B("basket", 192 * KIB, 0.08, site=104, pattern="seq",
+           gap_mean=6, burst_mean=12, write_frac=0.4),
+        _B("perm", 96 * KIB, 0.05, site=105, pattern="hotspot",
+           gap_mean=8, burst_mean=8),
+    ) + _segments(),
+)
+
+MILC = AppSpec(
+    name="milc", suite="spec2006", paper_class="L",
+    description="lattice QCD: gather/scatter over SU(3) link matrices",
+    behaviors=(
+        _B("lattice_backup", 12 * MIB, 0.005, site=200, pattern="strided",
+           stride=4096, gap_mean=30, burst_mean=8, write_frac=0.5),
+        _B("su3_links", 28 * MIB, 0.30, site=201, pattern="rand",
+           dep_prob=0.55, gap_mean=10, burst_mean=24, write_frac=0.2),
+        _B("fatlinks", 12 * MIB, 0.12, site=202, pattern="rand",
+           dep_prob=0.5, gap_mean=12, burst_mean=16, write_frac=0.15),
+        _B("mom", 640 * KIB, 0.08, site=203, pattern="seq",
+           gap_mean=4, burst_mean=24, write_frac=0.5),
+        _B("staples", 384 * KIB, 0.06, site=204, pattern="hotspot",
+           gap_mean=8, burst_mean=8),
+        _B("tmp_vecs", 1536 * KIB, 0.10, site=205, pattern="seq",
+           gap_mean=3, burst_mean=32, write_frac=0.4),
+    ) + _segments(),
+)
+
+LIBQUANTUM = AppSpec(
+    name="libquantum", suite="spec2006", paper_class="L",
+    description="quantum gate simulation: strided walks over the amplitude register",
+    behaviors=(
+        _B("scratch_reg", 8 * MIB, 0.005, site=300, pattern="strided",
+           stride=4096, gap_mean=30, burst_mean=8, write_frac=0.5),
+        _B("qureg_amps", 26 * MIB, 0.42, site=301, pattern="strided",
+           stride=160, dep_prob=0.65, gap_mean=12, burst_mean=48,
+           write_frac=0.3),
+        _B("gate_cache", 256 * KIB, 0.12, site=302, pattern="hotspot",
+           gap_mean=5, burst_mean=12),
+        _B("workspace", 1 * MIB, 0.08, site=303, pattern="seq",
+           gap_mean=4, burst_mean=24, write_frac=0.35),
+    ) + _segments(stack_w=0.2),
+)
+
+DISPARITY = AppSpec(
+    name="disparity", suite="sdvbs", paper_class="L",
+    description="stereo disparity: SAD cost volume chase + image pyramid stream",
+    # NOTE: img_pyramid (the lower-MPKI major object) is allocated FIRST —
+    # Sec. VI-A's anecdote: Heter-App fills RLDRAM with it and the hotter
+    # sad_cost object spills to HBM, while MOCA swaps them.
+    behaviors=(
+        _B("params", 64 * KIB, 0.06, site=404, pattern="hotspot",
+           gap_mean=8, burst_mean=6),
+        _B("img_pyramid", 24 * MIB, 0.22, site=401, pattern="strided",
+           stride=1024, gap_mean=4, burst_mean=96, write_frac=0.2),
+        _B("sad_cost", 28 * MIB, 0.34, site=402, pattern="chase",
+           gap_mean=16, burst_mean=24, write_frac=0.25),
+        _B("ret_disp", 6 * MIB, 0.08, site=403, pattern="strided",
+           stride=512, gap_mean=4, burst_mean=32, write_frac=0.5),
+    ) + _segments(),
+)
+
+# --------------------------------------------------------------------------------
+# Bandwidth-sensitive applications (Table III, class B)
+# --------------------------------------------------------------------------------
+
+MSER = AppSpec(
+    name="mser", suite="sdvbs", paper_class="B",
+    description="maximally-stable extremal regions: flood-fill sweeps over label maps",
+    behaviors=(
+        _B("region_stack", 28 * MIB, 0.28, site=501, pattern="strided",
+           stride=512, gap_mean=8, burst_mean=96, write_frac=0.35),
+        _B("pixel_labels", 10 * MIB, 0.14, site=502, pattern="rand",
+           dep_prob=0.1, gap_mean=6, burst_mean=16, write_frac=0.3),
+        _B("hist", 128 * KIB, 0.08, site=503, pattern="hotspot",
+           gap_mean=5, burst_mean=8, write_frac=0.5),
+        _B("comp_tree", 768 * KIB, 0.10, site=504, pattern="hotspot",
+           hot_fraction=0.08, gap_mean=8, burst_mean=8),
+    ) + _segments(),
+)
+
+LBM = AppSpec(
+    name="lbm", suite="spec2006", paper_class="B",
+    description="lattice-Boltzmann: double-buffered 3D stencil streaming",
+    behaviors=(
+        _B("grid_src", 30 * MIB, 0.26, site=601, pattern="strided",
+           stride=256, gap_mean=10, burst_mean=128, write_frac=0.1),
+        _B("grid_dst", 30 * MIB, 0.22, site=602, pattern="strided",
+           stride=256, gap_mean=10, burst_mean=192, write_frac=0.35),
+        _B("obstacle", 2 * MIB, 0.05, site=603, pattern="strided",
+           stride=256, gap_mean=6, burst_mean=48),
+    ) + _segments(),
+)
+
+TRACKING = AppSpec(
+    name="tracking", suite="sdvbs", paper_class="B",
+    description="KLT feature tracking: pyramid + gradient sweeps",
+    behaviors=(
+        _B("img_pyr", 18 * MIB, 0.22, site=701, pattern="strided",
+           stride=256, gap_mean=6, burst_mean=96, write_frac=0.15),
+        _B("grad_xy", 14 * MIB, 0.18, site=702, pattern="strided",
+           stride=512, dep_prob=0.05, gap_mean=8, burst_mean=48,
+           write_frac=0.3),
+        _B("features", 1228 * KIB, 0.12, site=703, pattern="hotspot",
+           hot_fraction=0.1, gap_mean=6, burst_mean=12, write_frac=0.4),
+    ) + _segments(stack_w=0.15),
+)
+
+# --------------------------------------------------------------------------------
+# Non-memory-intensive applications (Table III, class N)
+# --------------------------------------------------------------------------------
+
+GCC = AppSpec(
+    name="gcc", suite="spec2006", paper_class="N",
+    description="compiler: cache-resident IR pools; one warm RTL pool "
+                "(the object MOCA promotes to RLDRAM, Sec. VI-A)",
+    behaviors=(
+        _B("rtl_pool", 7 * MIB, 0.22, site=801, pattern="hotspot",
+           hot_fraction=0.015, hot_weight=0.90, dep_prob=0.7,
+           gap_mean=20, burst_mean=12, write_frac=0.3),
+        _B("symtab", 3 * MIB, 0.20, site=802, pattern="hotspot",
+           hot_fraction=0.02, hot_weight=0.97, gap_mean=12, burst_mean=10,
+           write_frac=0.3),
+        _B("tree_nodes", 1536 * KIB, 0.15, site=803, pattern="hotspot",
+           hot_fraction=0.04, hot_weight=0.97, gap_mean=10, burst_mean=10,
+           write_frac=0.35),
+        _B("strings", 96 * KIB, 0.10, site=804, pattern="hotspot",
+           gap_mean=8, burst_mean=8),
+    ) + _segments(stack_w=0.18, code_w=0.1),
+)
+
+SIFT = AppSpec(
+    name="sift", suite="sdvbs", paper_class="N",
+    description="SIFT keypoints: small pyramids, cache-friendly",
+    behaviors=(
+        _B("dog_pyr", 2560 * KIB, 0.25, site=901, pattern="hotspot",
+           hot_fraction=0.06, hot_weight=0.98, gap_mean=8, burst_mean=24,
+           write_frac=0.25),
+        _B("keypoints", 256 * KIB, 0.15, site=902, pattern="hotspot",
+           hot_fraction=0.2, hot_weight=0.97, gap_mean=8, burst_mean=8,
+           write_frac=0.4),
+        _B("img_buf", 448 * KIB, 0.12, site=903, pattern="hotspot",
+           hot_fraction=0.25, hot_weight=0.97, gap_mean=5, burst_mean=32,
+           write_frac=0.2),
+        _B("descriptors", 128 * KIB, 0.10, site=904, pattern="hotspot",
+           hot_fraction=0.3, hot_weight=0.97, gap_mean=8, burst_mean=8,
+           write_frac=0.5),
+    ) + _segments(stack_w=0.2, code_w=0.08),
+)
+
+STITCH = AppSpec(
+    name="stitch", suite="sdvbs", paper_class="N",
+    description="image stitching: small tiles, cache-friendly",
+    behaviors=(
+        _B("img_a", 256 * KIB, 0.18, site=1001, pattern="hotspot",
+           hot_fraction=0.3, hot_weight=0.96, gap_mean=5, burst_mean=32,
+           write_frac=0.1),
+        _B("img_b", 256 * KIB, 0.14, site=1002, pattern="hotspot",
+           hot_fraction=0.3, hot_weight=0.96, gap_mean=5, burst_mean=32,
+           write_frac=0.1),
+        _B("warp_buf", 1536 * KIB, 0.20, site=1003, pattern="hotspot",
+           hot_fraction=0.08, hot_weight=0.97, gap_mean=8, burst_mean=16,
+           write_frac=0.4),
+        _B("blend_acc", 128 * KIB, 0.10, site=1004, pattern="seq",
+           gap_mean=6, burst_mean=24, write_frac=0.5),
+    ) + _segments(stack_w=0.2, code_w=0.08),
+)
+
+
+APPS: dict[str, AppSpec] = {
+    a.name: a
+    for a in (MCF, MILC, LIBQUANTUM, DISPARITY, MSER, LBM, TRACKING,
+              GCC, SIFT, STITCH)
+}
+
+#: Table III of the paper.
+APP_CLASSES: dict[str, str] = {name: a.paper_class for name, a in APPS.items()}
+
+
+def app(name: str) -> AppSpec:
+    """Look up an application spec by name."""
+    if name not in APPS:
+        raise KeyError(f"unknown application {name!r}; have {sorted(APPS)}")
+    return APPS[name]
+
+
+def apps_in_class(cls: str) -> list[str]:
+    """Applications of one Table III class, in canonical order."""
+    if cls not in ("L", "B", "N"):
+        raise ValueError(f"class must be L/B/N, got {cls!r}")
+    return [n for n, a in APPS.items() if a.paper_class == cls]

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script must import and expose a main()."""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    names = {n.name for n in ast.walk(tree)
+             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))}
+    assert "main" in names, f"{path.name} needs a main() entry point"
+    # Guarded entry point so importing never runs the experiment.
+    guards = [n for n in tree.body if isinstance(n, ast.If)]
+    assert any("__name__" in ast.dump(g.test) for g in guards), path.name
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_docstring_mentions_run_line(path):
+    doc = ast.get_docstring(ast.parse(path.read_text()))
+    assert doc and "Run:" in doc, f"{path.name} should document how to run it"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "datacenter_colocation",
+            "memory_config_explorer", "custom_application"} <= names

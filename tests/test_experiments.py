@@ -1,0 +1,125 @@
+"""Tests for the experiment harness layer (runner + figure modules).
+
+Sweep-backed figures run at *tiny* fidelity here; the full-strength
+regeneration lives in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import TINY, runner
+from repro.experiments.runner import FigureResult, geomean
+from repro.experiments import fig01, fig08, fig09, fig16, headline, overhead
+from repro.experiments import tables
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestFigureResult:
+    def _fig(self):
+        f = FigureResult("figX", "title", ["k", "a", "b"])
+        f.add_row("r1", 1.0, 2.0)
+        f.add_row("r2", 3.0, 4.0)
+        return f
+
+    def test_add_row_validates_width(self):
+        f = self._fig()
+        with pytest.raises(ValueError):
+            f.add_row("r3", 1.0)
+
+    def test_column_and_row_access(self):
+        f = self._fig()
+        assert f.column("a") == [1.0, 3.0]
+        assert f.row("r2") == ["r2", 3.0, 4.0]
+        assert f.cell("r1", "b") == 2.0
+
+    def test_missing_row(self):
+        with pytest.raises(KeyError):
+            self._fig().row("zzz")
+
+    def test_render_contains_everything(self):
+        f = self._fig()
+        f.notes.append("hello note")
+        text = f.render()
+        assert "figX" in text and "r1" in text and "hello note" in text
+        assert "1.000" in text  # float formatting
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0, 2.0]) == pytest.approx(2.0)  # zeros skipped
+
+
+class TestFidelity:
+    def test_presets_registered(self):
+        assert set(runner.FIDELITIES) == {"tiny", "default", "full"}
+
+    def test_ordering(self):
+        assert (runner.TINY.n_single < runner.DEFAULT.n_single
+                < runner.FULL.n_single)
+
+    def test_hashable_for_lru_cache(self):
+        assert hash(runner.TINY) == hash(runner.Fidelity("tiny", 30_000,
+                                                         20_000))
+
+
+class TestSweeps:
+    def test_single_sweep_covers_grid(self):
+        sweep = runner.single_sweep(TINY)
+        assert len(sweep) == 10 * len(runner.SINGLE_SYSTEMS)
+        assert sweep[("mcf", "MOCA")].policy == "moca"
+
+    def test_single_sweep_memoized(self):
+        assert runner.single_sweep(TINY) is runner.single_sweep(TINY)
+
+
+class TestFigureModules:
+    def test_fig01_rows_per_app(self):
+        fig = fig01.compute(TINY)
+        assert len(fig.rows) == 10
+
+    def test_fig08_fig09_share_sweep(self):
+        f8 = fig08.compute(TINY)
+        f9 = fig09.compute(TINY)
+        assert f8.columns == f9.columns
+        assert [r[0] for r in f8.rows] == [r[0] for r in f9.rows]
+        # Baseline column is exactly 1 everywhere.
+        base = f8.columns.index("Homogen-DDR3")
+        assert all(r[base] == pytest.approx(1.0) for r in f8.rows)
+
+    def test_fig16_segments_below_heap(self):
+        fig = fig16.compute(TINY)
+        for row in fig.rows:
+            assert max(row[1], row[2], row[3]) < row[4]
+
+    def test_overhead_small(self):
+        fig = overhead.compute(TINY, apps=("gcc",), repeats=1)
+        assert len(fig.rows) == 1
+        assert fig.rows[0][3] < 200.0
+
+    def test_headline_has_all_claims(self):
+        fig = headline.compute(TINY)
+        assert len(fig.rows) == 10
+        assert all(isinstance(r[2], float) for r in fig.rows)
+
+    def test_tables_static(self):
+        t1 = tables.table1()
+        t2 = tables.table2()
+        assert t1.cell("L2 MSHRs", "value") == 20
+        assert t2.cell("# banks", "RLDRAM3") == 16
+
+
+class TestCli:
+    def test_registry_complete(self):
+        expected = {"fig01", "fig02", "table1", "table2", "table3",
+                    "thresholds", "devices", "variance", "taillat",
+                    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+                    "fig14", "fig15", "fig16", "overhead", "headline"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_main_runs_one(self, capsys):
+        assert main(["table2", "--fidelity", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "RLDRAM3" in out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,140 @@
+"""Tests for latency histograms and the variance/robustness experiment."""
+
+import pytest
+
+from repro.memctrl.request import MemRequest
+from repro.memctrl.stats import LatencyHistogram, N_BUCKETS
+from repro.workloads.inputs import build_app_trace, is_valid_input
+
+
+class TestLatencyHistogram:
+    def test_record_and_mean(self):
+        h = LatencyHistogram()
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.total == 3
+        assert h.mean == pytest.approx(20.0)
+        assert h.max_cycles == 30
+
+    def test_percentiles_monotone(self):
+        h = LatencyHistogram()
+        for v in range(1, 1001):
+            h.record(v)
+        assert h.p50 <= h.p95 <= h.p99 <= h.max_cycles * 2
+
+    def test_percentile_bucket_bounds(self):
+        h = LatencyHistogram()
+        for _ in range(100):
+            h.record(100)  # bucket [64, 127]
+        assert h.p50 == 127
+        assert h.p99 == 127
+
+    def test_tail_visible(self):
+        """99 fast + 1 slow: p50 stays fast, p99+ sees the straggler."""
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.record(10)
+        h.record(10_000)
+        assert h.p50 < 16
+        assert h.percentile(100.0) >= 8191
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(5)
+        b.record(500)
+        a.merge(b)
+        assert a.total == 2
+        assert a.max_cycles == 500
+
+    def test_validation(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.record(-1)
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(101.0)
+
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.mean == 0.0
+        assert h.p99 == 0
+
+    def test_huge_latency_clamped_to_last_bucket(self):
+        h = LatencyHistogram()
+        h.record(1 << 60)
+        assert sum(h.counts) == 1
+        assert h.counts[N_BUCKETS - 1] == 1
+
+    def test_summary_renders(self):
+        h = LatencyHistogram()
+        h.record(42)
+        assert "p99" in h.summary()
+
+
+class TestSystemHistogram:
+    def test_controller_records_demand_only(self, ddr3_system):
+        reqs = [MemRequest(group=0, gaddr=i * 64, issue_cycle=0)
+                for i in range(8)]
+        reqs.append(MemRequest(group=0, gaddr=9999 * 64, issue_cycle=0,
+                               is_write=True, demand=False))
+        ddr3_system.service_batch(reqs)
+        hist = ddr3_system.latency_histogram()
+        assert hist.total == 8  # the writeback is excluded
+
+    def test_group_filter(self, hetero_system):
+        hetero_system.service_batch([
+            MemRequest(group=0, gaddr=0, issue_cycle=0),
+            MemRequest(group=2, gaddr=0, issue_cycle=0),
+        ])
+        assert hetero_system.latency_histogram("lat").total == 1
+        assert hetero_system.latency_histogram("pow").total == 1
+        assert hetero_system.latency_histogram().total == 2
+
+    def test_reset_clears(self, ddr3_system):
+        ddr3_system.service_one(MemRequest(group=0, gaddr=0, issue_cycle=0))
+        ddr3_system.reset_stats()
+        assert ddr3_system.latency_histogram().total == 0
+
+    def test_rl_p99_below_lp_p50ish(self, hetero_system):
+        """RLDRAM's tail beats LPDDR's body on random traffic."""
+        import numpy as np
+        rng = np.random.default_rng(11)
+        addrs = (rng.integers(0, 8 * (1 << 20) // 64, 300) * 64).tolist()
+        for gi in (0, 2):
+            for a in addrs:
+                hetero_system.service_one(
+                    MemRequest(group=gi, gaddr=a, issue_cycle=0))
+        rl = hetero_system.latency_histogram("lat")
+        lp = hetero_system.latency_histogram("pow")
+        assert rl.p99 <= lp.p50 * 4
+        assert rl.mean < lp.mean
+
+
+class TestInputVariants:
+    def test_valid_names(self):
+        assert is_valid_input("train")
+        assert is_valid_input("ref")
+        assert is_valid_input("ref2")
+        assert is_valid_input("ref17")
+        assert not is_valid_input("validation")
+        assert not is_valid_input("ref2x")
+
+    def test_variants_differ_from_each_other(self):
+        a = build_app_trace("sift", "ref", 5_000)
+        b = build_app_trace("sift", "ref2", 5_000)
+        assert not (a.vaddr[:200] == b.vaddr[:200]).all()
+        assert (a.layout.heap_footprint_bytes()
+                != b.layout.heap_footprint_bytes())
+
+    def test_variance_experiment_tiny(self):
+        from repro.experiments.runner import Fidelity
+        from repro.experiments.variance import compute
+        fig = compute(Fidelity("micro-var", 8_000, 4_000), n_variants=2)
+        assert len(fig.rows) == 4
+        assert fig.columns[-1] == "always_wins"
+
+    def test_variance_needs_two(self):
+        from repro.experiments.variance import compute
+        with pytest.raises(ValueError):
+            compute(n_variants=1)

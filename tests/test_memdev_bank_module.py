@@ -1,0 +1,178 @@
+"""Tests for the bank state machine and the memory module model."""
+
+import pytest
+
+from repro.memdev.bank import BankState
+from repro.memdev.module import MemoryModule
+from repro.memdev.presets import DDR3, HBM, LPDDR2, RLDRAM3
+from repro.util.units import MIB
+
+
+class TestBankState:
+    def test_initial_state_closed(self):
+        b = BankState()
+        assert b.open_row is None
+        assert not b.is_hit(0)
+
+    def test_first_access_is_row_miss(self):
+        b = BankState()
+        assert b.access_latency(DDR3, 5) == DDR3.row_miss_latency
+
+    def test_hit_after_open(self):
+        b = BankState()
+        b.service(DDR3, 5, 0)
+        assert b.is_hit(5)
+        assert b.access_latency(DDR3, 5) == DDR3.row_hit_latency
+
+    def test_conflict_after_other_row(self):
+        b = BankState()
+        b.service(DDR3, 5, 0)
+        assert b.access_latency(DDR3, 6) == DDR3.row_conflict_latency
+
+    def test_row_hit_pipelines_at_tccd(self):
+        b = BankState()
+        b.service(DDR3, 5, 0)          # activate: bank busy until done
+        start = b.ready_at
+        done2 = b.service(DDR3, 5, start)  # hit: data at tCL...
+        assert done2 == start + DDR3.tCL
+        assert b.ready_at == start + DDR3.tCCD  # ...but bank free at tCCD
+
+    def test_back_to_back_hits_stream(self):
+        b = BankState()
+        b.service(DDR3, 1, 0)
+        t1 = b.ready_at
+        b.service(DDR3, 1, t1)
+        assert b.ready_at - t1 == DDR3.tCCD
+
+    def test_trc_spacing_between_activates(self):
+        b = BankState()
+        b.service(DDR3, 1, 0)
+        first_act = b.last_activate
+        b.service(DDR3, 2, 0)
+        assert b.last_activate - first_act >= DDR3.tRC
+
+    def test_service_clamps_to_ready(self):
+        b = BankState()
+        b.service(DDR3, 1, 0)
+        done = b.service(DDR3, 1, 0)  # asks for cycle 0, bank busy
+        assert done >= DDR3.tCCD
+
+    def test_refresh_closes_row_and_blocks(self):
+        b = BankState()
+        b.service(DDR3, 1, 0)
+        end = b.refresh(DDR3, 100)
+        assert b.open_row is None
+        assert end >= 100 + DDR3.tRFC
+        assert b.ready_at == end
+
+    def test_monotone_time(self):
+        """Service completions never go backwards."""
+        b = BankState()
+        last = 0
+        for i, row in enumerate([1, 1, 2, 3, 2, 2, 1]):
+            done = b.service(DDR3, row, i * 3)
+            assert done >= last
+            last = done
+
+
+class TestMemoryModule:
+    def test_decode_roundtrip_fields_in_range(self):
+        m = MemoryModule(DDR3, 16 * MIB)
+        for addr in (0, 64, 4096, 123456, 16 * MIB - 64):
+            sub, bank, row = m.decode(addr)
+            assert 0 <= sub < DDR3.n_subchannels
+            assert 0 <= bank < DDR3.n_banks
+            assert 0 <= row < DDR3.n_rows
+
+    def test_consecutive_lines_same_row_until_boundary(self):
+        m = MemoryModule(DDR3, 16 * MIB)
+        rows = {m.decode(a)[2] for a in range(0, DDR3.effective_row_bytes, 64)}
+        assert len(rows) == 1
+
+    def test_sequential_access_sees_row_hits(self):
+        m = MemoryModule(DDR3, 16 * MIB)
+        t = 0
+        for i in range(64):
+            res = m.access(i * 64, t)
+            t = res.done
+        assert m.row_hit_rate > 0.8
+
+    def test_random_access_sees_row_conflicts(self):
+        import numpy as np
+        rng = np.random.default_rng(7)
+        m = MemoryModule(DDR3, 16 * MIB)
+        t = 0
+        for a in rng.integers(0, 16 * MIB // 64, 200) * 64:
+            res = m.access(int(a), t)
+            t = res.done
+        assert m.row_hit_rate < 0.3
+
+    def test_latency_includes_queue_and_service(self):
+        m = MemoryModule(DDR3, 16 * MIB)
+        r1 = m.access(0, 0)
+        assert r1.queue_cycles == 0
+        assert r1.latency == r1.service_cycles
+        # Same bank, same cycle: the second request queues.
+        r2 = m.access(DDR3.effective_row_bytes * DDR3.n_banks, 0)
+        assert r2.done > r1.start
+
+    def test_rldram_faster_than_lpddr_random(self):
+        import numpy as np
+        rng = np.random.default_rng(3)
+        addrs = (rng.integers(0, 8 * MIB // 64, 300) * 64).tolist()
+        lat = {}
+        for dev in (RLDRAM3, LPDDR2):
+            m = MemoryModule(dev, 8 * MIB)
+            total = 0
+            t = 0
+            for a in addrs:
+                res = m.access(a, t)
+                total += res.latency
+                t = res.done + 50
+            lat[dev.name] = total
+        assert lat["RLDRAM3"] * 3 < lat["LPDDR2"]
+
+    def test_hbm_subchannels_parallelize(self):
+        """Concurrent requests to different subchannels overlap in HBM."""
+        m = MemoryModule(HBM, 16 * MIB)
+        r1 = m.access(0, 0)
+        r2 = m.access(HBM.effective_row_bytes, 0)  # next subchannel
+        assert r2.queue_cycles == 0 or r2.done <= r1.done + HBM.tCL
+
+    def test_refresh_applies_after_trefi(self):
+        m = MemoryModule(DDR3, 16 * MIB)
+        m.access(0, 0)
+        res = m.access(0, DDR3.tREFI + 1)  # row was open, refresh closes it
+        assert not res.row_hit
+
+    def test_stats_accumulate(self):
+        m = MemoryModule(DDR3, 16 * MIB)
+        m.access(0, 0)
+        m.access(64, 10, is_write=True)
+        assert m.n_accesses == 2
+        assert m.n_reads == 1
+        assert m.n_writes == 1
+        assert m.bytes_transferred == 128
+        assert m.bus_busy_cycles > 0
+        assert m.bank_busy_cycles > 0
+
+    def test_reset_stats_keeps_timing_state(self):
+        m = MemoryModule(DDR3, 16 * MIB)
+        m.access(0, 0)
+        m.reset_stats()
+        assert m.n_accesses == 0
+        res = m.access(0, 1_000)
+        assert res.row_hit  # the row stayed open across the reset
+
+    def test_utilization_bounded(self):
+        m = MemoryModule(LPDDR2, 8 * MIB)
+        t = 0
+        for i in range(100):
+            res = m.access(i * 4096, t)
+            t = res.done
+        assert 0.0 < m.utilization(t) <= 1.0
+        assert m.utilization(0) == 0.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryModule(DDR3, 0)

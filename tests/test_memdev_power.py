@@ -1,0 +1,78 @@
+"""Tests for the memory power/energy model (paper Sec. V-A)."""
+
+import pytest
+
+from repro.memdev.module import MemoryModule
+from repro.memdev.power import PowerModel
+from repro.memdev.presets import DDR3, LPDDR2, RLDRAM3
+from repro.util.units import GIB, MIB
+
+
+@pytest.fixture
+def pm() -> PowerModel:
+    return PowerModel()
+
+
+class TestStandby:
+    def test_idle_module_draws_standby_only(self, pm):
+        m = MemoryModule(DDR3, GIB)
+        b = pm.module_power(m, 1_000_000)
+        assert b.active_w == 0.0
+        assert b.standby_w == pytest.approx(0.256)
+
+    def test_standby_scales_with_capacity(self, pm):
+        half = pm.module_power(MemoryModule(DDR3, GIB // 2), 1000)
+        full = pm.module_power(MemoryModule(DDR3, GIB), 1000)
+        assert full.standby_w == pytest.approx(2 * half.standby_w)
+
+    def test_lpddr_standby_far_below_ddr3(self, pm):
+        lp = pm.module_power(MemoryModule(LPDDR2, GIB), 1000)
+        d3 = pm.module_power(MemoryModule(DDR3, GIB), 1000)
+        assert lp.standby_w * 30 < d3.standby_w
+
+    def test_rldram_standby_4_5x_ddr3(self, pm):
+        rl = pm.module_power(MemoryModule(RLDRAM3, GIB), 1000)
+        d3 = pm.module_power(MemoryModule(DDR3, GIB), 1000)
+        assert 4.0 <= rl.standby_w / d3.standby_w <= 5.0
+
+
+class TestActive:
+    def test_traffic_raises_power(self, pm):
+        m = MemoryModule(DDR3, 64 * MIB)
+        t = 0
+        for i in range(500):
+            t = m.access(i * 4096, t).done
+        busy = pm.module_power(m, t)
+        assert busy.active_w > 0
+        assert busy.total_w > busy.standby_w
+
+    def test_active_capped_at_rating(self, pm):
+        m = MemoryModule(DDR3, GIB)
+        # Force utilization to saturate.
+        m.bank_busy_cycles = 10**12
+        b = pm.module_power(m, 1000)
+        assert b.active_w <= DDR3.active_w_per_gb * 1.0 + 1e-9
+
+    def test_energy_is_power_times_time(self, pm):
+        m = MemoryModule(DDR3, GIB)
+        b = pm.module_power(m, 2_000_000_000)  # 2 s at 1 GHz
+        assert b.elapsed_s == pytest.approx(2.0)
+        assert b.energy_j == pytest.approx(b.total_w * 2.0)
+
+
+class TestSystemAggregation:
+    def test_system_power_sums_modules(self, pm):
+        mods = [MemoryModule(DDR3, GIB), MemoryModule(LPDDR2, GIB)]
+        total = pm.system_power(mods, 1000)
+        parts = sum(pm.module_power(m, 1000).total_w for m in mods)
+        assert total == pytest.approx(parts)
+
+    def test_system_energy_sums_modules(self, pm):
+        mods = [MemoryModule(DDR3, GIB), MemoryModule(RLDRAM3, GIB)]
+        total = pm.system_energy(mods, 5000)
+        parts = sum(pm.module_power(m, 5000).energy_j for m in mods)
+        assert total == pytest.approx(parts)
+
+    def test_zero_elapsed_zero_energy(self, pm):
+        b = pm.module_power(MemoryModule(DDR3, GIB), 0)
+        assert b.energy_j == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the device probes + the Table II character each model must keep.
+
+These are the regression anchors for the whole memory stack: every
+paper-level result depends on RLDRAM being the latency leader, HBM the
+bandwidth leader, and LPDDR2 the laggard on both.
+"""
+
+import pytest
+
+from repro.memdev.presets import DDR3, HBM, LPDDR2, RLDRAM3
+from repro.memdev.probe import (
+    characterize,
+    idle_latencies,
+    loaded_random_latency,
+    random_bandwidth,
+    stream_bandwidth,
+)
+
+DEVICES = (DDR3, HBM, RLDRAM3, LPDDR2)
+
+
+@pytest.fixture(scope="module")
+def characters():
+    return {d.name: characterize(d) for d in DEVICES}
+
+
+class TestIdleLatencies:
+    def test_ordering_hit_miss_conflict(self):
+        for dev in DEVICES:
+            hit, miss, conflict = idle_latencies(dev)
+            assert hit < miss <= conflict, dev.name
+
+    def test_rldram_latency_leader(self, characters):
+        rl = characters["RLDRAM3"]
+        for name, c in characters.items():
+            if name != "RLDRAM3":
+                assert rl.idle_conflict_ns < c.idle_conflict_ns
+                assert rl.loaded_random_ns < c.loaded_random_ns
+
+    def test_rldram_conflict_around_trc(self):
+        _, _, conflict = idle_latencies(RLDRAM3)
+        assert conflict <= RLDRAM3.tRC_ns + RLDRAM3.transfer_ns(64) + 3
+
+    def test_ddr3_conflict_matches_datasheet_math(self):
+        _, _, conflict = idle_latencies(DDR3)
+        expected = (DDR3.tRP_ns + DDR3.tRCD_ns + DDR3.tCL_ns
+                    + DDR3.transfer_ns(64))
+        assert conflict == pytest.approx(expected, abs=4)
+
+    def test_lpddr_slowest_loaded(self, characters):
+        lp = characters["LPDDR2"]
+        for name, c in characters.items():
+            if name != "LPDDR2":
+                assert lp.loaded_random_ns > c.loaded_random_ns
+
+
+class TestBandwidth:
+    def test_hbm_stream_leader(self, characters):
+        hbm = characters["HBM"]
+        for name, c in characters.items():
+            if name != "HBM":
+                assert hbm.stream_gbps > c.stream_gbps
+
+    def test_lpddr_stream_laggard(self, characters):
+        lp = characters["LPDDR2"]
+        for name, c in characters.items():
+            if name != "LPDDR2":
+                assert lp.stream_gbps < c.stream_gbps
+
+    def test_stream_below_peak(self):
+        for dev in DEVICES:
+            measured = stream_bandwidth(dev)
+            assert measured <= dev.peak_bandwidth_gbps() * 1.01, dev.name
+
+    def test_stream_beats_random(self):
+        """Row-buffer locality must pay off on every technology with a
+        meaningful row buffer (RLDRAM's 128 B window barely counts)."""
+        for dev in (DDR3, HBM, LPDDR2):
+            assert stream_bandwidth(dev) > random_bandwidth(dev), dev.name
+
+    def test_deeper_window_helps_random(self):
+        shallow = random_bandwidth(DDR3, window=2, seed_key="w")
+        deep = random_bandwidth(DDR3, window=32, seed_key="w")
+        assert deep > shallow
+
+
+class TestConstraintEffects:
+    def test_tfaw_limits_activate_rate(self):
+        """DDR3 with tFAW disabled must stream random activates faster."""
+        import dataclasses
+        no_faw = dataclasses.replace(DDR3, tFAW_ns=0.0)
+        with_faw = random_bandwidth(DDR3, window=32, seed_key="faw")
+        without = random_bandwidth(no_faw, window=32, seed_key="faw")
+        assert without >= with_faw
+
+    def test_turnaround_penalizes_rw_mix(self):
+        from repro.memdev.module import MemoryModule
+        import dataclasses
+        from repro.util.units import MIB
+
+        def run(dev):
+            m = MemoryModule(dev, 16 * MIB)
+            t = 0
+            for i in range(200):
+                res = m.access(i * 64, t, is_write=(i % 2 == 0))
+                t = res.done
+            return t
+
+        slow = run(DDR3)
+        fast = run(dataclasses.replace(DDR3, turnaround_ns=0.0))
+        assert slow > fast
+
+    def test_character_dataclass_fields(self, characters):
+        c = characters["DDR3"]
+        assert c.name == "DDR3"
+        assert c.stream_gbps > 0 and c.random_gbps > 0

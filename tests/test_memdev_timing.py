@@ -1,0 +1,130 @@
+"""Tests for device timing parameters and presets (paper Table II)."""
+
+import dataclasses
+
+import pytest
+
+from repro.memdev.presets import DDR3, HBM, LPDDR2, PRESETS, RLDRAM3, preset
+from repro.memdev.timing import DeviceTiming
+
+
+class TestTableII:
+    """The presets must encode the paper's Table II verbatim (timings)."""
+
+    @pytest.mark.parametrize("dev,tck,tras,trcd,trc,trfc", [
+        (DDR3, 1.07, 35.0, 13.75, 48.75, 160.0),
+        (HBM, 2.0, 33.0, 15.0, 48.0, 160.0),
+        (RLDRAM3, 0.93, 6.0, 2.0, 8.0, 110.0),
+        (LPDDR2, 1.875, 42.0, 15.0, 60.0, 130.0),
+    ])
+    def test_timing_values(self, dev, tck, tras, trcd, trc, trfc):
+        assert dev.tCK_ns == tck
+        assert dev.tRAS_ns == tras
+        assert dev.tRCD_ns == trcd
+        assert dev.tRC_ns == trc
+        assert dev.tRFC_ns == trfc
+
+    @pytest.mark.parametrize("dev,bl,banks,rowbuf,rows,width", [
+        (DDR3, 8, 8, 128, 32 * 1024, 8),
+        (HBM, 4, 8, 2048, 32 * 1024, 128),
+        (RLDRAM3, 8, 16, 16, 8 * 1024, 8),
+        (LPDDR2, 4, 8, 1024, 8 * 1024, 32),
+    ])
+    def test_architecture_values(self, dev, bl, banks, rowbuf, rows, width):
+        assert dev.burst_length == bl
+        assert dev.n_banks == banks
+        assert dev.row_buffer_bytes == rowbuf
+        assert dev.n_rows == rows
+        assert dev.device_width_bits == width
+
+    def test_ddr3_lpddr2_power_values_match_table(self):
+        assert DDR3.standby_mw_per_gb == 256.0
+        assert DDR3.active_w_per_gb == 1.5
+        assert LPDDR2.standby_mw_per_gb == 6.5
+        assert LPDDR2.active_w_per_gb == 0.4
+        assert HBM.standby_mw_per_gb == 335.0
+        assert HBM.active_w_per_gb == 4.5
+
+    def test_rldram_power_follows_prose_not_table(self):
+        """Sec. II prose: RLDRAM power 4-5x DDR3 (Table II's 30 mW/GB
+        contradicts it); the preset must sit in the 4-5x band."""
+        ratio_standby = RLDRAM3.standby_mw_per_gb / DDR3.standby_mw_per_gb
+        ratio_active = RLDRAM3.active_w_per_gb / DDR3.active_w_per_gb
+        assert 4.0 <= ratio_standby <= 5.0
+        assert 4.0 <= ratio_active <= 5.0
+
+
+class TestDerivedTimings:
+    def test_trp_is_trc_minus_tras(self):
+        assert DDR3.tRP_ns == pytest.approx(13.75)
+        assert RLDRAM3.tRP_ns == pytest.approx(2.0)
+
+    def test_latency_ordering_rldram_fastest(self):
+        """RLDRAM's raison d'etre: lowest access latency of the four."""
+        for other in (DDR3, HBM, LPDDR2):
+            assert RLDRAM3.row_conflict_latency < other.row_conflict_latency
+            assert RLDRAM3.row_miss_latency < other.row_miss_latency
+
+    def test_bandwidth_ordering_hbm_highest_lpddr_lowest(self):
+        """HBM's raison d'etre: highest peak bandwidth; LPDDR lowest."""
+        bws = {d.name: d.peak_bandwidth_gbps()
+               for d in (DDR3, HBM, RLDRAM3, LPDDR2)}
+        assert bws["HBM"] == max(bws.values())
+        assert bws["LPDDR2"] == min(bws.values())
+
+    def test_row_latencies_monotone(self):
+        for dev in (DDR3, HBM, RLDRAM3, LPDDR2):
+            assert (dev.row_hit_latency < dev.row_miss_latency
+                    < dev.row_conflict_latency)
+
+    def test_effective_row_scales_by_ganged_devices(self):
+        assert DDR3.devices_per_channel == 8
+        assert DDR3.effective_row_bytes == 1024
+        assert HBM.devices_per_channel == 1
+        assert HBM.effective_row_bytes == 2048
+        assert LPDDR2.effective_row_bytes == 1024
+
+    def test_transfer_scales_with_width(self):
+        """Per-line transfer: LPDDR2 slowest, HBM fastest of the planar."""
+        assert LPDDR2.transfer_ns(64) > DDR3.transfer_ns(64)
+        assert HBM.transfer_ns(64) <= DDR3.transfer_ns(64) + 1e-9
+
+    def test_transfer_chains_bursts(self):
+        one = DDR3.transfer_ns(64)
+        assert DDR3.transfer_ns(128) == pytest.approx(2 * one)
+
+    def test_tccd_positive_and_small(self):
+        for dev in (DDR3, HBM, RLDRAM3, LPDDR2):
+            assert 1 <= dev.tCCD <= max(dev.tCL, dev.transfer_cycles(64)) + 1
+
+    def test_integer_cycle_ceiling(self):
+        assert DDR3.tRCD == 14  # ceil(13.75)
+        assert RLDRAM3.tRC == 8
+
+
+class TestValidationAndLookup:
+    def test_preset_lookup_aliases(self):
+        assert preset("rldram") is RLDRAM3
+        assert preset("RLDRAM3") is RLDRAM3
+        assert preset("lpddr") is LPDDR2
+        assert preset("ddr3") is DDR3
+
+    def test_preset_unknown_raises(self):
+        with pytest.raises(KeyError, match="DDR5"):
+            preset("DDR5")
+
+    def test_presets_registry_covers_four_technologies(self):
+        assert {d.name for d in PRESETS.values()} == {
+            "DDR3", "HBM", "RLDRAM3", "LPDDR2"}
+
+    def test_tras_greater_than_trc_rejected(self):
+        with pytest.raises(ValueError, match="tRAS"):
+            dataclasses.replace(DDR3, tRAS_ns=50.0, tRC_ns=49.0)
+
+    def test_non_pow2_burst_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(DDR3, burst_length=3)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DDR3.tCK_ns = 2.0  # type: ignore[misc]

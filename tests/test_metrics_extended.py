@@ -1,0 +1,94 @@
+"""Tests for weighted speedup/fairness and SimPoint-weighted profiling."""
+
+import pytest
+
+from repro.moca.profiler import MemoryObjectProfiler
+from repro.sim.config import HOMOGEN_DDR3
+from repro.sim.metrics import fairness, weighted_speedup
+from repro.sim.multi import run_multi
+from repro.sim.single import run_single
+from repro.trace.builder import TraceBuilder
+from repro.util.rng import stream
+from repro.workloads.mixes import mix
+
+NM = 10_000
+
+
+@pytest.fixture(scope="module")
+def shared_and_alone():
+    workload = mix("1B3N")
+    shared = run_multi(workload, HOMOGEN_DDR3, "homogen", n_accesses=NM)
+    alone = [run_single(a, HOMOGEN_DDR3, "homogen", n_accesses=NM)
+             for a in workload.apps]
+    return shared, alone
+
+
+class TestWeightedSpeedup:
+    def test_bounded_by_core_count(self, shared_and_alone):
+        shared, alone = shared_and_alone
+        ws = weighted_speedup(shared, alone)
+        assert 0 < ws <= shared.n_cores + 0.01
+
+    def test_contention_lowers_ws(self, shared_and_alone):
+        """Sharing a memory system cannot beat running alone."""
+        shared, alone = shared_and_alone
+        ws = weighted_speedup(shared, alone)
+        assert ws < shared.n_cores
+
+    def test_fairness_in_unit_interval(self, shared_and_alone):
+        shared, alone = shared_and_alone
+        f = fairness(shared, alone)
+        assert 0 < f <= 1.0
+
+    def test_length_validated(self, shared_and_alone):
+        shared, alone = shared_and_alone
+        with pytest.raises(ValueError):
+            weighted_speedup(shared, alone[:2])
+        with pytest.raises(ValueError):
+            fairness(shared, alone[:1])
+
+
+class TestWeightedProfiling:
+    def _trace(self, key):
+        from repro.trace.builder import ObjectBehavior
+        from repro.util.units import MIB
+        b = [ObjectBehavior("hot", 4 * MIB, 1.0, pattern="rand",
+                            gap_mean=8, site=1)]
+        return TraceBuilder(b).build(15_000, stream("simpoint", key))
+
+    def test_single_window_equals_plain_profile(self):
+        prof = MemoryObjectProfiler()
+        t = self._trace("w1")
+        plain = prof.profile_trace(t, "app")
+        weighted = MemoryObjectProfiler().profile_windows([(t, 1.0)], "app")
+        assert weighted.app_mpki == pytest.approx(plain.app_mpki, rel=0.01)
+
+    def test_weights_interpolate(self):
+        """A 50/50 blend of two windows lands between the extremes."""
+        t1, t2 = self._trace("w1"), self._trace("w2")
+        p1 = MemoryObjectProfiler().profile_trace(t1, "app")
+        p2 = MemoryObjectProfiler().profile_trace(t2, "app")
+        blend = MemoryObjectProfiler().profile_windows(
+            [(t1, 0.5), (t2, 0.5)], "app")
+        lo, hi = sorted([p1.app_mpki, p2.app_mpki])
+        assert lo * 0.99 <= blend.app_mpki <= hi * 1.01
+
+    def test_dominant_weight_dominates(self):
+        t1, t2 = self._trace("w1"), self._trace("w2")
+        p1 = MemoryObjectProfiler().profile_trace(t1, "app")
+        blend = MemoryObjectProfiler().profile_windows(
+            [(t1, 0.999), (t2, 0.001)], "app")
+        assert blend.app_mpki == pytest.approx(p1.app_mpki, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryObjectProfiler().profile_windows([], "app")
+        t = self._trace("w1")
+        with pytest.raises(ValueError):
+            MemoryObjectProfiler().profile_windows([(t, 0.0)], "app")
+
+    def test_segment_mpki_blended(self):
+        t1, t2 = self._trace("w1"), self._trace("w2")
+        blend = MemoryObjectProfiler().profile_windows(
+            [(t1, 0.5), (t2, 0.5)], "app")
+        assert set(blend.segment_mpki) == {"stack", "code", "global"}

@@ -1,0 +1,131 @@
+"""Tests for the page-migration baseline (mechanism + runner)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import HETER_CONFIG1, HOMOGEN_DDR3
+from repro.sim.migration import run_single_migration
+from repro.trace.events import PAGE_BYTES
+from repro.vm.allocator import OSPageAllocator
+from repro.vm.heap import ObjectType
+from repro.vm.migration import HotPageMigrator, MigrationConfig
+from repro.vm.pagetable import PageTable
+from repro.vm.physmem import FramePool
+from repro.memctrl.system import ChannelGroup, MemorySystem
+from repro.memdev.presets import LPDDR2, RLDRAM3
+from repro.util.units import MIB
+
+
+@pytest.fixture
+def setup():
+    memsys = MemorySystem({
+        "lat": ChannelGroup(RLDRAM3, 1, 1 * MIB, name="RL"),
+        "pow": ChannelGroup(LPDDR2, 1, 64 * MIB, name="LP"),
+    })
+    pools = {0: FramePool(1 * MIB, 0), 1: FramePool(64 * MIB, 1)}
+    alloc = OSPageAllocator(pools, {"lat": 0, "pow": 1}, PageTable())
+    return memsys, alloc
+
+
+class TestHotPageMigrator:
+    def _populate(self, alloc, n_pages):
+        for vp in range(n_pages):
+            alloc.allocate_page(vp, ObjectType.POW)
+
+    def test_promotes_hottest_pages(self, setup):
+        memsys, alloc = setup
+        self._populate(alloc, 16)
+        mig = HotPageMigrator(alloc, memsys,
+                              MigrationConfig(max_migrations_per_epoch=2))
+        # Page 3 is by far the hottest, then page 7.
+        vpages = np.asarray([3] * 50 + [7] * 20 + [1, 2, 4])
+        overhead = mig.end_epoch(vpages)
+        assert overhead > 0
+        assert alloc.page_table.lookup(3)[0] == 0
+        assert alloc.page_table.lookup(7)[0] == 0
+        assert alloc.page_table.lookup(1)[0] == 1
+        assert mig.stats.n_migrations == 2
+
+    def test_old_frames_freed(self, setup):
+        memsys, alloc = setup
+        self._populate(alloc, 4)
+        before = alloc.pools[1].n_allocated
+        mig = HotPageMigrator(alloc, memsys)
+        mig.end_epoch(np.asarray([0] * 10))
+        assert alloc.pools[1].n_allocated == before - 1
+
+    def test_swaps_when_target_full(self, setup):
+        memsys, alloc = setup
+        self._populate(alloc, 600)
+        mig = HotPageMigrator(alloc, memsys,
+                              MigrationConfig(max_migrations_per_epoch=512))
+        # Fill the 256-frame RL module with warm pages...
+        mig.end_epoch(np.repeat(np.arange(256), 2))
+        assert alloc.pools[0].frames_left == 0
+        # ...then a much hotter page must displace a resident one.
+        mig.end_epoch(np.asarray([400] * 99))
+        assert alloc.page_table.lookup(400)[0] == 0
+        assert mig.stats.n_swaps >= 1
+
+    def test_no_swap_for_colder_page(self, setup):
+        memsys, alloc = setup
+        self._populate(alloc, 600)
+        mig = HotPageMigrator(alloc, memsys,
+                              MigrationConfig(max_migrations_per_epoch=512))
+        mig.end_epoch(np.repeat(np.arange(256), 10))  # heat 10 each
+        swaps_before = mig.stats.n_swaps
+        mig.end_epoch(np.asarray([500] * 3))  # heat 3 < resident 10
+        assert mig.stats.n_swaps == swaps_before
+        assert alloc.page_table.lookup(500)[0] == 1
+
+    def test_empty_epoch_noop(self, setup):
+        memsys, alloc = setup
+        mig = HotPageMigrator(alloc, memsys)
+        assert mig.end_epoch(np.asarray([], dtype=np.int64)) == 0
+
+    def test_requires_target_role(self, setup):
+        memsys, alloc = setup
+        with pytest.raises(ValueError):
+            HotPageMigrator(alloc, memsys, MigrationConfig(target_role="bw"))
+
+    def test_copy_charges_both_buses(self, setup):
+        memsys, alloc = setup
+        self._populate(alloc, 4)
+        mig = HotPageMigrator(alloc, memsys)
+        before = [g.modules[0].bus_busy_cycles for g in memsys.groups]
+        mig.end_epoch(np.asarray([0] * 10))
+        after = [g.modules[0].bus_busy_cycles for g in memsys.groups]
+        assert after[0] > before[0] and after[1] > before[1]
+        assert mig.stats.bytes_copied == 2 * PAGE_BYTES
+
+
+class TestMigrationRunner:
+    def test_produces_metrics_and_stats(self):
+        m, stats = run_single_migration(
+            "gcc", HETER_CONFIG1, MigrationConfig(epoch_misses=300),
+            n_accesses=20_000)
+        assert m.policy == "migration"
+        assert m.exec_cycles > 0
+        assert stats.n_epochs >= 2
+        assert stats.overhead_cycles > 0
+
+    def test_migration_moves_hot_pages_to_rl(self):
+        _, stats = run_single_migration(
+            "gcc", HETER_CONFIG1, MigrationConfig(epoch_misses=300),
+            n_accesses=20_000)
+        assert stats.n_migrations > 0
+
+    def test_moca_beats_migration_on_chase_heavy_app(self):
+        """The paper's argument: allocation-time placement beats runtime
+        migration, which keeps paying copy costs and only ever catches a
+        few pages of a large pointer-chased object."""
+        from repro.sim.single import run_single
+        mig, _ = run_single_migration("mcf", HETER_CONFIG1,
+                                      n_accesses=30_000)
+        moca = run_single("mcf", HETER_CONFIG1, "moca", n_accesses=30_000)
+        assert moca.mem_access_cycles < mig.mem_access_cycles
+        assert moca.exec_cycles < mig.exec_cycles
+
+    def test_homogeneous_target_rejected(self):
+        with pytest.raises(ValueError):
+            run_single_migration("gcc", HOMOGEN_DDR3, n_accesses=5_000)

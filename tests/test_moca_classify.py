@@ -1,0 +1,77 @@
+"""Tests for the Fig. 5 threshold classifier."""
+
+import pytest
+
+from repro.moca.classify import (
+    APP_THRESHOLDS,
+    DEFAULT_THRESHOLDS,
+    Thresholds,
+    class_letter_to_type,
+    classify_metrics,
+    type_to_class_letter,
+)
+from repro.vm.heap import ObjectType
+
+
+class TestThresholds:
+    def test_paper_defaults(self):
+        """Sec. IV-C: Thr_Lat = 1 MPKI, Thr_BW = 20 stall cycles/miss."""
+        assert DEFAULT_THRESHOLDS.thr_lat == 1.0
+        assert DEFAULT_THRESHOLDS.thr_bw == 20.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Thresholds(thr_lat=-1)
+        with pytest.raises(ValueError):
+            Thresholds(thr_bw=-0.1)
+
+    def test_app_thresholds_higher_lat_bar(self):
+        assert APP_THRESHOLDS.thr_lat > DEFAULT_THRESHOLDS.thr_lat
+
+
+class TestClassifyMetrics:
+    """The Fig. 5 quadrant map."""
+
+    def test_low_mpki_is_pow(self):
+        assert classify_metrics(0.5, 100.0) == ObjectType.POW
+
+    def test_boundary_mpki_is_pow(self):
+        # Fig. 5: objects with MPKI *greater than* Thr_Lat are intensive.
+        assert classify_metrics(1.0, 100.0) == ObjectType.POW
+
+    def test_high_mpki_high_stall_is_lat(self):
+        assert classify_metrics(50.0, 45.0) == ObjectType.LAT
+
+    def test_high_mpki_low_stall_is_bw(self):
+        assert classify_metrics(50.0, 10.0) == ObjectType.BW
+
+    def test_boundary_stall_is_bw(self):
+        # Stall strictly greater than Thr_BW -> latency-sensitive.
+        assert classify_metrics(50.0, 20.0) == ObjectType.BW
+
+    def test_custom_thresholds(self):
+        t = Thresholds(thr_lat=5.0, thr_bw=40.0)
+        assert classify_metrics(3.0, 100.0, t) == ObjectType.POW
+        assert classify_metrics(10.0, 30.0, t) == ObjectType.BW
+        assert classify_metrics(10.0, 50.0, t) == ObjectType.LAT
+
+    def test_quadrants_cover_plane(self):
+        """Every (mpki, stall) point classifies to exactly one type."""
+        for mpki in (0.0, 0.5, 1.0, 2.0, 100.0):
+            for stall in (0.0, 10.0, 20.0, 21.0, 500.0):
+                assert classify_metrics(mpki, stall) in ObjectType
+
+
+class TestLetters:
+    def test_roundtrip(self):
+        for typ in ObjectType:
+            assert class_letter_to_type(type_to_class_letter(typ)) is typ
+
+    def test_mapping(self):
+        assert type_to_class_letter(ObjectType.LAT) == "L"
+        assert type_to_class_letter(ObjectType.BW) == "B"
+        assert type_to_class_letter(ObjectType.POW) == "N"
+
+    def test_bad_letter(self):
+        with pytest.raises(ValueError):
+            class_letter_to_type("Z")

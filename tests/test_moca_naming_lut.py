@@ -1,0 +1,157 @@
+"""Tests for object naming and the profiling LUT."""
+
+import pytest
+
+from repro.moca.lut import ObjectProfile, ProfileLUT
+from repro.moca.naming import (
+    MAX_DEPTH,
+    ObjectName,
+    name_from_python_stack,
+    name_from_site,
+)
+
+
+class TestObjectName:
+    def test_frames_required(self):
+        with pytest.raises(ValueError):
+            ObjectName(())
+
+    def test_depth_capped(self):
+        with pytest.raises(ValueError):
+            ObjectName(tuple(range(1, MAX_DEPTH + 2)))
+
+    def test_alloc_return_address(self):
+        n = ObjectName((0x400100, 0x400200))
+        assert n.alloc_return_address == 0x400100
+
+    def test_str_form(self):
+        assert str(ObjectName((0x10, 0x20))) == "0x10/0x20"
+
+    def test_hashable_and_ordered(self):
+        a = ObjectName((1, 2))
+        b = ObjectName((1, 3))
+        assert a == ObjectName((1, 2))
+        assert a < b
+        assert len({a, b, ObjectName((1, 2))}) == 2
+
+
+class TestNameFromSite:
+    def test_deterministic(self):
+        assert name_from_site(101) == name_from_site(101)
+
+    def test_distinct_sites_distinct_names(self):
+        names = {name_from_site(s) for s in range(200)}
+        assert len(names) == 200
+
+    def test_depth(self):
+        assert len(name_from_site(5).frames) == MAX_DEPTH
+        assert len(name_from_site(5, depth=2).frames) == 2
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            name_from_site(1, depth=0)
+        with pytest.raises(ValueError):
+            name_from_site(1, depth=6)
+
+    def test_addresses_look_like_text_segment(self):
+        for f in name_from_site(7).frames:
+            assert 0x0040_0000 <= f < 0x0050_0000
+            assert f % 2 == 0
+
+
+class TestNameFromPythonStack:
+    def test_same_call_site_same_name(self):
+        def alloc():
+            return name_from_python_stack()
+        assert alloc() == alloc()
+
+    def test_different_call_sites_differ(self):
+        a = name_from_python_stack()
+        b = name_from_python_stack()
+        assert a != b  # different line numbers
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            name_from_python_stack(depth=0)
+
+
+def _profile(site=1, misses=100, loads=80, stalls=4000, ki=10.0, size=4096):
+    return ObjectProfile(
+        name=name_from_site(site), label=f"obj{site}", size_bytes=size,
+        accesses=1000, llc_misses=misses, load_misses=loads,
+        stall_cycles=stalls, kilo_instructions=ki,
+    )
+
+
+class TestObjectProfile:
+    def test_mpki(self):
+        assert _profile(misses=100, ki=10.0).llc_mpki == pytest.approx(10.0)
+
+    def test_stall_per_miss(self):
+        p = _profile(loads=80, stalls=4000)
+        assert p.stall_per_load_miss == pytest.approx(50.0)
+
+    def test_zero_divisions(self):
+        p = _profile(misses=0, loads=0, stalls=0, ki=0.0)
+        assert p.llc_mpki == 0.0
+        assert p.stall_per_load_miss == 0.0
+
+    def test_merge_accumulates(self):
+        a = _profile(misses=100, ki=10.0)
+        a.merge(_profile(misses=50, ki=5.0))
+        assert a.llc_misses == 150
+        assert a.kilo_instructions == pytest.approx(15.0)
+
+    def test_merge_weighted(self):
+        a = _profile(misses=100, ki=10.0)
+        a.merge(_profile(misses=100, ki=10.0), weight=0.5)
+        assert a.llc_misses == 150
+
+    def test_merge_rejects_other_object(self):
+        a = _profile(site=1)
+        with pytest.raises(ValueError):
+            a.merge(_profile(site=2))
+
+
+class TestProfileLUT:
+    def test_register_and_get(self):
+        lut = ProfileLUT("app")
+        p = _profile()
+        lut.register(p)
+        assert lut.get(p.name) is p
+        assert p.name in lut
+        assert len(lut) == 1
+
+    def test_register_merges_same_name(self):
+        lut = ProfileLUT()
+        lut.register(_profile(misses=100))
+        lut.register(_profile(misses=50))
+        assert len(lut) == 1
+        assert lut.get(name_from_site(1)).llc_misses == 150
+
+    def test_hottest_ordering(self):
+        lut = ProfileLUT()
+        lut.register(_profile(site=1, misses=10))
+        lut.register(_profile(site=2, misses=1000))
+        lut.register(_profile(site=3, misses=100))
+        hottest = lut.hottest(2)
+        assert [p.label for p in hottest] == ["obj2", "obj3"]
+
+    def test_totals(self):
+        lut = ProfileLUT()
+        lut.register(_profile(site=1, misses=100, loads=50, stalls=1000,
+                              ki=10.0))
+        lut.register(_profile(site=2, misses=50, loads=50, stalls=3000,
+                              ki=10.0))
+        mpki, spm = lut.totals()
+        assert mpki == pytest.approx(15.0)
+        assert spm == pytest.approx(40.0)
+
+    def test_totals_empty(self):
+        assert ProfileLUT().totals() == (0.0, 0.0)
+
+    def test_iteration(self):
+        lut = ProfileLUT()
+        lut.register(_profile(site=1))
+        lut.register(_profile(site=2))
+        assert len(list(lut)) == 2

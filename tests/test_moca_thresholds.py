@@ -1,0 +1,45 @@
+"""Tests for the empirical threshold search (paper Sec. IV-C)."""
+
+import pytest
+
+from repro.moca.classify import Thresholds
+from repro.moca.thresholds import ThresholdScore, best_thresholds, search_thresholds
+
+
+@pytest.fixture(scope="module")
+def scores():
+    return search_thresholds(
+        apps=("gcc",),
+        thr_lat_candidates=(1.0, 1e6),
+        thr_bw_candidates=(20.0,),
+        n_accesses=30_000,
+    )
+
+
+class TestSearch:
+    def test_grid_size(self, scores):
+        assert len(scores) == 2
+
+    def test_sorted_best_first(self, scores):
+        edps = [s.mean_memory_edp for s in scores]
+        assert edps == sorted(edps)
+
+    def test_scores_carry_thresholds(self, scores):
+        lats = {s.thresholds.thr_lat for s in scores}
+        assert lats == {1.0, 1e6}
+
+    def test_promoting_hot_objects_beats_none(self, scores):
+        """Thr_Lat=inf classifies everything POW (all LPDDR).  For gcc —
+        whose rtl_pool is the paper's promotable object — the paper
+        threshold must win on access time."""
+        by_lat = {s.thresholds.thr_lat: s for s in scores}
+        assert (by_lat[1.0].mean_access_cycles
+                < by_lat[1e6].mean_access_cycles)
+
+    def test_best_thresholds_returns_thresholds(self):
+        t = best_thresholds(apps=("gcc",),
+                            thr_lat_candidates=(1.0,),
+                            thr_bw_candidates=(20.0,),
+                            n_accesses=20_000)
+        assert isinstance(t, Thresholds)
+        assert t.thr_lat == 1.0

@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) for core data structures/invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import SetAssocCache
+from repro.memctrl.addrmap import GroupAddressMap
+from repro.memdev.bank import BankState
+from repro.memdev.presets import DDR3, HBM, LPDDR2, RLDRAM3
+from repro.moca.classify import Thresholds, classify_metrics
+from repro.moca.naming import name_from_site
+from repro.trace import patterns
+from repro.trace.events import PAGE_BYTES, VirtualLayout
+from repro.util.rng import derive_seed, stream
+from repro.vm.heap import ObjectType
+from repro.vm.pagetable import PageTable
+from repro.vm.physmem import FramePool
+
+DEVICES = (DDR3, HBM, RLDRAM3, LPDDR2)
+
+addresses = st.integers(min_value=0, max_value=(1 << 34) - 1)
+rows = st.integers(min_value=0, max_value=8191)
+
+
+class TestBankProperties:
+    @given(st.lists(st.tuples(rows, st.integers(0, 10_000)),
+                    min_size=1, max_size=50),
+           st.sampled_from(DEVICES))
+    @settings(max_examples=60)
+    def test_completions_monotone_nondecreasing(self, ops, dev):
+        """Whatever the access pattern, bank time never flows backwards."""
+        b = BankState()
+        last = -1
+        t = 0
+        for row, gap in ops:
+            t += gap
+            done = b.service(dev, row, t)
+            assert done >= last
+            assert done >= t
+            last = done
+
+    @given(rows, st.sampled_from(DEVICES))
+    @settings(max_examples=40)
+    def test_hit_never_slower_than_miss(self, row, dev):
+        hit_bank = BankState(open_row=row)
+        miss_bank = BankState()
+        assert (hit_bank.access_latency(dev, row)
+                <= miss_bank.access_latency(dev, row))
+
+
+class TestAddrMapProperties:
+    @given(addresses, st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=200)
+    def test_route_inverse_roundtrip(self, gaddr, n):
+        amap = GroupAddressMap(n)
+        ch, local = amap.route(gaddr)
+        assert 0 <= ch < n
+        assert amap.inverse(ch, local) == gaddr
+
+    @given(st.integers(0, 1 << 20), st.sampled_from([2, 4]))
+    @settings(max_examples=100)
+    def test_distinct_lines_distinct_routes(self, line, n):
+        """Two different lines never collide on (channel, local)."""
+        amap = GroupAddressMap(n)
+        a = amap.route(line * 64)
+        b = amap.route((line + 1) * 64)
+        assert a != b
+
+
+class TestCacheProperties:
+    @given(st.lists(st.tuples(st.integers(0, 255), st.booleans()),
+                    min_size=1, max_size=400))
+    @settings(max_examples=60)
+    def test_occupancy_and_conservation(self, ops):
+        """Ways never exceeded; hits + misses == accesses."""
+        c = SetAssocCache(4096, 2)  # 32 sets, 2 ways
+        for line, w in ops:
+            c.access(line * 64, w)
+            assert all(len(s) <= 2 for s in c._sets)
+        assert c.n_hits + c.n_misses == len(ops)
+
+    @given(st.lists(st.integers(0, 63), min_size=2, max_size=100))
+    @settings(max_examples=60)
+    def test_immediate_rereference_hits(self, lines):
+        c = SetAssocCache(8192, 2)
+        for line in lines:
+            c.access(line * 64, False)
+            hit, _ = c.access(line * 64, False)
+            assert hit
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.booleans()),
+                    min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_dirty_lines_eventually_written_back(self, ops):
+        """Every dirty line is either still resident or was evicted dirty."""
+        c = SetAssocCache(2048, 2)
+        written = set()
+        evicted_dirty = set()
+        for line, w in ops:
+            addr = line * 64
+            if w:
+                written.add(addr)
+            _, ev = c.access(addr, w)
+            if ev is not None and ev.dirty:
+                evicted_dirty.add(ev.line_addr)
+        for addr in written:
+            assert c.contains(addr) or addr in evicted_dirty
+
+
+class TestPatternProperties:
+    @given(st.integers(1, 500), st.integers(64, 1 << 22),
+           st.integers(0, 1 << 60))
+    @settings(max_examples=100)
+    def test_offsets_always_in_bounds(self, n, size, seed):
+        rng = np.random.default_rng(seed)
+        for gen in (
+            lambda: patterns.random_offsets(rng, n, size),
+            lambda: patterns.hotspot_offsets(rng, n, size),
+            lambda: patterns.sequential_offsets(0, n, size)[0],
+            lambda: patterns.strided_offsets(0, n, size, 64)[0],
+        ):
+            offs = gen()
+            assert (offs >= 0).all()
+            assert (offs < size).all()
+
+    @given(st.integers(1, 100), st.integers(512, 1 << 16))
+    @settings(max_examples=50)
+    def test_sequential_resumption_is_seamless(self, n, size):
+        full, _ = patterns.sequential_offsets(0, 2 * n, size)
+        first, cur = patterns.sequential_offsets(0, n, size)
+        second, _ = patterns.sequential_offsets(cur, n, size)
+        assert (np.concatenate([first, second]) == full).all()
+
+
+class TestVmProperties:
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300,
+                    unique=True))
+    @settings(max_examples=50)
+    def test_pagetable_translation_consistent(self, vpages):
+        pt = PageTable()
+        for i, vp in enumerate(vpages):
+            pt.map_page(vp, group=i % 3, frame=i)
+        vlines = np.asarray([vp * PAGE_BYTES + 64 for vp in vpages])
+        groups, gaddr = pt.translate_lines(vlines)
+        for i, vp in enumerate(vpages):
+            assert groups[i] == i % 3
+            assert gaddr[i] == i * PAGE_BYTES + 64
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_framepool_never_double_allocates(self, n_frames):
+        p = FramePool(n_frames * PAGE_BYTES, group=0)
+        seen = set()
+        while (f := p.allocate()) is not None:
+            assert f not in seen
+            seen.add(f)
+        assert len(seen) == n_frames
+
+    @given(st.lists(st.integers(1, 1 << 20), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_layout_regions_disjoint(self, sizes):
+        lay = VirtualLayout()
+        for i, s in enumerate(sizes):
+            lay.place(f"o{i}", s)
+        regions = lay.all_regions()
+        for a, b in zip(regions, regions[1:]):
+            assert a.vend <= b.vbase
+
+
+class TestClassifierProperties:
+    metrics = st.floats(min_value=0, max_value=1e4, allow_nan=False)
+
+    @given(metrics, metrics)
+    @settings(max_examples=200)
+    def test_total_function(self, mpki, stall):
+        assert classify_metrics(mpki, stall) in ObjectType
+
+    @given(metrics, metrics, metrics, metrics)
+    @settings(max_examples=100)
+    def test_monotone_in_mpki(self, m1, m2, stall, thr_bw):
+        """Raising MPKI never moves an object from intensive to POW."""
+        t = Thresholds(thr_lat=1.0, thr_bw=thr_bw)
+        lo, hi = sorted((m1, m2))
+        if classify_metrics(lo, stall, t) != ObjectType.POW:
+            assert classify_metrics(hi, stall, t) != ObjectType.POW
+
+
+class TestRngProperties:
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=100)
+    def test_seed_stability_and_range(self, a, b):
+        s = derive_seed(a, b)
+        assert s == derive_seed(a, b)
+        assert 0 <= s < (1 << 64)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_naming_injective_over_sites(self, site):
+        assert name_from_site(site) == name_from_site(site)
+        assert name_from_site(site) != name_from_site(site + 1)

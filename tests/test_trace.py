@@ -1,0 +1,231 @@
+"""Tests for trace patterns, layout, and the trace builder."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.hierarchy import SEG_CODE, SEG_GLOBAL, SEG_STACK
+from repro.trace.builder import ObjectBehavior, TraceBuilder
+from repro.trace.events import (
+    HEAP_BASE,
+    PAGE_BYTES,
+    PlacedObject,
+    VirtualLayout,
+)
+from repro.trace.patterns import (
+    chase_offsets,
+    hotspot_offsets,
+    random_offsets,
+    sequential_offsets,
+    strided_offsets,
+)
+from repro.util.rng import stream
+from repro.util.units import KIB, MIB
+
+
+class TestPatterns:
+    def test_sequential_dense_and_wrapping(self):
+        offs, nxt = sequential_offsets(0, 10, 64)
+        assert offs.tolist() == [0, 8, 16, 24, 32, 40, 48, 56, 0, 8]
+        assert nxt == 16
+
+    def test_sequential_continues_across_bursts(self):
+        offs1, cur = sequential_offsets(0, 4, 1024)
+        offs2, _ = sequential_offsets(cur, 4, 1024)
+        assert offs2[0] == offs1[-1] + 8
+
+    def test_strided(self):
+        offs, _ = strided_offsets(0, 4, 4096, stride=256)
+        assert offs.tolist() == [0, 256, 512, 768]
+
+    def test_strided_wraps(self):
+        offs, nxt = strided_offsets(0, 5, 1024, stride=256)
+        assert offs[4] == 0
+        assert nxt == 256
+
+    def test_strided_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            strided_offsets(0, 4, 4096, stride=0)
+
+    def test_random_in_bounds_and_aligned(self, rng):
+        offs = random_offsets(rng, 1000, 4096)
+        assert (offs >= 0).all() and (offs < 4096).all()
+        assert (offs % 8 == 0).all()
+
+    def test_chase_same_distribution_as_random(self, rng):
+        offs = chase_offsets(rng, 500, 1 * MIB)
+        assert (offs < 1 * MIB).all()
+
+    def test_hotspot_concentrates(self, rng):
+        offs = hotspot_offsets(rng, 5000, 1 * MIB, hot_fraction=0.1,
+                               hot_weight=0.9)
+        hot = (offs < 0.1 * MIB).mean()
+        assert hot > 0.85
+
+    def test_hotspot_param_validation(self, rng):
+        with pytest.raises(ValueError):
+            hotspot_offsets(rng, 10, 4096, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            hotspot_offsets(rng, 10, 4096, hot_weight=1.5)
+
+    def test_pattern_determinism(self):
+        a = random_offsets(stream("t", 1), 100, 4096)
+        b = random_offsets(stream("t", 1), 100, 4096)
+        assert (a == b).all()
+
+
+class TestVirtualLayout:
+    def test_objects_page_aligned_and_disjoint(self):
+        lay = VirtualLayout()
+        a = lay.place("a", 10_000)
+        b = lay.place("b", 5_000)
+        assert a.vbase % PAGE_BYTES == 0
+        assert b.vbase % PAGE_BYTES == 0
+        assert a.vend <= b.vbase  # guard page between
+
+    def test_first_object_at_heap_base(self):
+        lay = VirtualLayout()
+        assert lay.place("a", 100).vbase == HEAP_BASE
+
+    def test_ids_sequential(self):
+        lay = VirtualLayout()
+        assert lay.place("a", 100).obj_id == 0
+        assert lay.place("b", 100).obj_id == 1
+
+    def test_segments_present(self):
+        lay = VirtualLayout()
+        assert lay.segments[SEG_STACK].name == "[stack]"
+        assert lay.segments[SEG_CODE].obj_id == SEG_CODE
+
+    def test_resolve_vectorized(self):
+        lay = VirtualLayout()
+        a = lay.place("a", 8192)
+        b = lay.place("b", 8192)
+        addrs = np.asarray([a.vbase, a.vbase + 8191, b.vbase,
+                            lay.segments[SEG_STACK].vbase])
+        ids = lay.resolve(addrs)
+        assert ids.tolist() == [0, 0, 1, SEG_STACK]
+
+    def test_resolve_outside_everything_is_global(self):
+        lay = VirtualLayout()
+        lay.place("a", 4096)
+        ids = lay.resolve(np.asarray([0x100]))
+        assert ids[0] == SEG_GLOBAL
+
+    def test_pages_range(self):
+        obj = PlacedObject(0, "x", 0x6000_0000, 2 * PAGE_BYTES)
+        assert len(obj.pages()) == 2
+
+    def test_footprint(self):
+        lay = VirtualLayout()
+        lay.place("a", PAGE_BYTES)
+        lay.place("b", PAGE_BYTES + 1)  # rounds to 2 pages
+        assert lay.heap_footprint_bytes() == 3 * PAGE_BYTES
+
+    def test_rejects_empty_object(self):
+        with pytest.raises(ValueError):
+            VirtualLayout().place("bad", 0)
+
+    def test_by_id(self):
+        lay = VirtualLayout()
+        a = lay.place("a", 100)
+        assert lay.by_id(0) is a
+        assert lay.by_id(SEG_STACK) is lay.segments[SEG_STACK]
+
+
+class TestObjectBehavior:
+    def test_validates_pattern(self):
+        with pytest.raises(ValueError):
+            ObjectBehavior("x", 4096, 1.0, pattern="zigzag")
+
+    def test_validates_weight_size_burst_gap(self):
+        with pytest.raises(ValueError):
+            ObjectBehavior("x", 4096, -1.0)
+        with pytest.raises(ValueError):
+            ObjectBehavior("x", 0, 1.0)
+        with pytest.raises(ValueError):
+            ObjectBehavior("x", 4096, 1.0, burst_mean=0.5)
+        with pytest.raises(ValueError):
+            ObjectBehavior("x", 4096, 1.0, gap_mean=0.5)
+
+    def test_chase_forces_dep(self):
+        b = ObjectBehavior("x", 4096, 1.0, pattern="chase", dep_prob=0.0)
+        assert b.effective_dep_prob == 1.0
+
+
+class TestTraceBuilder:
+    def test_trace_length_exact(self, tiny_behaviors, rng):
+        t = TraceBuilder(tiny_behaviors).build(5000, rng)
+        assert len(t) == 5000
+
+    def test_determinism(self, tiny_behaviors):
+        t1 = TraceBuilder(tiny_behaviors).build(3000, stream("tb", 1))
+        t2 = TraceBuilder(tiny_behaviors).build(3000, stream("tb", 1))
+        assert (t1.vaddr == t2.vaddr).all()
+        assert (t1.inst == t2.inst).all()
+
+    def test_access_share_tracks_weight(self, tiny_behaviors, rng):
+        t = TraceBuilder(tiny_behaviors).build(50_000, rng)
+        share = (t.obj_id == 0).mean()  # chasey: weight 0.3 of 1.0
+        assert 0.2 < share < 0.4
+
+    def test_addresses_inside_objects(self, tiny_behaviors, rng):
+        t = TraceBuilder(tiny_behaviors).build(10_000, rng)
+        ids = t.layout.resolve(t.vaddr)
+        assert (ids == t.obj_id).all()
+
+    def test_chase_accesses_flagged_dep(self, tiny_behaviors, rng):
+        t = TraceBuilder(tiny_behaviors).build(10_000, rng)
+        chase_mask = t.obj_id == 0
+        assert t.dep[chase_mask].all()
+        assert not t.dep[~chase_mask].any()
+
+    def test_per_behavior_gap_mean(self, rng):
+        b = [
+            ObjectBehavior("dense", 1 * MIB, 0.5, pattern="seq", gap_mean=2,
+                           burst_mean=16, site=1),
+            ObjectBehavior("sparse", 1 * MIB, 0.5, pattern="seq", gap_mean=40,
+                           burst_mean=16, site=2),
+        ]
+        t = TraceBuilder(b).build(30_000, rng)
+        gaps = np.diff(t.inst, prepend=0)
+        dense = gaps[t.obj_id == 0].mean()
+        sparse = gaps[t.obj_id == 1].mean()
+        assert sparse > 5 * dense
+
+    def test_write_fraction(self, rng):
+        b = [ObjectBehavior("w", 1 * MIB, 1.0, pattern="rand",
+                            write_frac=0.5, site=1)]
+        t = TraceBuilder(b).build(20_000, rng)
+        assert 0.4 < t.is_write.mean() < 0.6
+
+    def test_segment_behavior_maps_to_segment(self, rng):
+        b = [ObjectBehavior("stk", 16 * KIB, 1.0, pattern="hotspot",
+                            segment=SEG_STACK)]
+        t = TraceBuilder(b).build(1000, rng)
+        assert (t.obj_id == SEG_STACK).all()
+
+    def test_segment_behavior_too_big_rejected(self, rng):
+        b = [ObjectBehavior("stk", 100 * MIB, 1.0, segment=SEG_STACK)]
+        with pytest.raises(ValueError, match="larger than its segment"):
+            TraceBuilder(b).build(100, rng)
+
+    def test_total_instructions_covers_trace(self, tiny_trace):
+        assert tiny_trace.total_instructions >= int(tiny_trace.inst[-1])
+
+    def test_needs_positive_weights(self):
+        with pytest.raises(ValueError):
+            TraceBuilder([ObjectBehavior("x", 4096, 0.0)])
+
+    def test_needs_behaviors(self):
+        with pytest.raises(ValueError):
+            TraceBuilder([])
+
+    def test_rejects_nonpositive_n(self, tiny_behaviors, rng):
+        with pytest.raises(ValueError):
+            TraceBuilder(tiny_behaviors).build(0, rng)
+
+    def test_touched_pages_subset_of_extent(self, tiny_trace):
+        obj = tiny_trace.layout.objects[0]
+        touched = tiny_trace.touched_pages(0)
+        pages = set(obj.pages())
+        assert set(touched.tolist()) <= pages

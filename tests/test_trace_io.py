@@ -1,0 +1,71 @@
+"""Tests for trace persistence (.npz round-trip)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.hierarchy import CacheHierarchy
+from repro.trace.io import load_trace, save_trace
+from repro.workloads.inputs import build_app_trace
+
+
+class TestTraceRoundtrip:
+    def test_columns_identical(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace.npz"
+        save_trace(tiny_trace, path)
+        restored = load_trace(path)
+        assert (restored.inst == tiny_trace.inst).all()
+        assert (restored.vaddr == tiny_trace.vaddr).all()
+        assert (restored.is_write == tiny_trace.is_write).all()
+        assert (restored.obj_id == tiny_trace.obj_id).all()
+        assert (restored.dep == tiny_trace.dep).all()
+        assert restored.total_instructions == tiny_trace.total_instructions
+
+    def test_layout_identical(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace.npz"
+        save_trace(tiny_trace, path)
+        restored = load_trace(path)
+        assert len(restored.layout.objects) == len(tiny_trace.layout.objects)
+        for a, b in zip(restored.layout.objects, tiny_trace.layout.objects):
+            assert (a.name, a.vbase, a.size_bytes, a.site) == \
+                (b.name, b.vbase, b.size_bytes, b.site)
+
+    def test_resolution_identical(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace.npz"
+        save_trace(tiny_trace, path)
+        restored = load_trace(path)
+        probe = tiny_trace.vaddr[:500]
+        assert (restored.resolve_objects(probe)
+                == tiny_trace.resolve_objects(probe)).all()
+
+    def test_cache_filter_identical(self, tiny_trace, tmp_path):
+        """The acid test: a restored trace produces the same miss stream."""
+        path = tmp_path / "t.trace.npz"
+        save_trace(tiny_trace, path)
+        restored = load_trace(path)
+        s1, _ = CacheHierarchy().filter_trace(tiny_trace)
+        s2, _ = CacheHierarchy().filter_trace(restored)
+        assert (s1.vline == s2.vline).all()
+        assert (s1.kind == s2.kind).all()
+
+    def test_real_app_trace(self, tmp_path):
+        trace = build_app_trace("sift", "train", 5_000)
+        path = tmp_path / "sift.trace.npz"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        assert len(restored) == len(trace)
+        names = {o.name for o in restored.layout.objects}
+        assert "dog_pyr" in names
+
+    def test_bad_version_rejected(self, tiny_trace, tmp_path):
+        import json
+        path = tmp_path / "t.trace.npz"
+        save_trace(tiny_trace, path)
+        # Corrupt the embedded version.
+        data = dict(np.load(path))
+        doc = json.loads(bytes(data["layout"]).decode())
+        doc["version"] = 99
+        data["layout"] = np.frombuffer(json.dumps(doc).encode(),
+                                       dtype=np.uint8)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)

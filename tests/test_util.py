@@ -1,0 +1,113 @@
+"""Tests for repro.util: RNG streams, units, validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ROOT_SEED, derive_seed, stream
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    cycles_to_ns,
+    mw_per_gb,
+    ns_to_cycles,
+    watts,
+)
+from repro.util.validation import (
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestRng:
+    def test_same_keys_same_stream(self):
+        a = stream("x", 1).integers(0, 1 << 30, 16)
+        b = stream("x", 1).integers(0, 1 << 30, 16)
+        assert (a == b).all()
+
+    def test_different_keys_differ(self):
+        a = stream("x", 1).integers(0, 1 << 30, 16)
+        b = stream("x", 2).integers(0, 1 << 30, 16)
+        assert not (a == b).all()
+
+    def test_key_order_matters(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_root_seed_changes_everything(self):
+        assert derive_seed("x", root=1) != derive_seed("x", root=2)
+
+    def test_derive_seed_is_64_bit(self):
+        s = derive_seed("anything")
+        assert 0 <= s < (1 << 64)
+
+    def test_derive_seed_stable_across_calls(self):
+        assert derive_seed("mcf", "train") == derive_seed("mcf", "train")
+
+    def test_stream_returns_generator(self):
+        assert isinstance(stream("q"), np.random.Generator)
+
+    def test_root_seed_is_documented_constant(self):
+        assert ROOT_SEED == 0x4D0CA
+
+
+class TestUnits:
+    def test_sizes(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+    def test_ns_to_cycles_at_1ghz_is_identity_for_ints(self):
+        assert ns_to_cycles(35.0) == 35
+
+    def test_ns_to_cycles_rounds_up(self):
+        assert ns_to_cycles(13.75) == 14
+        assert ns_to_cycles(0.93) == 1
+
+    def test_cycles_to_ns_roundtrip(self):
+        assert cycles_to_ns(ns_to_cycles(48.0)) == pytest.approx(48.0)
+
+    def test_ns_to_cycles_other_clock(self):
+        # 2 GHz: 1 ns = 2 cycles.
+        assert ns_to_cycles(1.0, clock_hz=2_000_000_000) == 2
+
+    def test_mw_per_gb_scales_by_capacity(self):
+        assert mw_per_gb(256.0, GIB) == pytest.approx(0.256)
+        assert mw_per_gb(256.0, GIB // 2) == pytest.approx(0.128)
+
+    def test_watts_scales_by_capacity(self):
+        assert watts(1.5, 2 * GIB) == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    @pytest.mark.parametrize("good", [1, 2, 4, 1024, 1 << 30])
+    def test_power_of_two_accepts(self, good):
+        assert check_power_of_two("x", good) == good
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 1000])
+    def test_power_of_two_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_power_of_two("x", bad)
+
+    def test_check_in(self):
+        assert check_in("x", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError, match="x"):
+            check_in("x", "c", ("a", "b"))
