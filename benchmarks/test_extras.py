@@ -31,3 +31,48 @@ def test_taillat_percentiles(benchmark, fidelity):
     for app in ("mcf", "disparity"):
         row = fig.row(app)
         assert row[cols.index("MOCA_p50")] <= row[cols.index("DDR3_p50")]
+
+
+def test_obs_disabled_overhead():
+    """Disabled observability must cost < 5% of a TINY run's wall-time.
+
+    The registry's hot-path hooks are single ``if OBS.enabled`` guards
+    (plus a no-op span handout).  Estimate their disabled-mode cost as
+    (number of guard sites a TINY run actually hits) x (measured cost of
+    one disabled registry call), and require that to be under 5% of the
+    run's wall-time.
+    """
+    import time
+    from timeit import timeit
+
+    from repro.experiments.runner import TINY
+    from repro.obs.registry import OBS
+    from repro.sim.config import HOMOGEN_DDR3
+    from repro.sim.single import run_single
+
+    assert not OBS.enabled
+    n = TINY.n_single
+    run_single("mcf", HOMOGEN_DDR3, "homogen", n_accesses=n)  # warm caches
+    t0 = time.perf_counter()
+    run_single("mcf", HOMOGEN_DDR3, "homogen", n_accesses=n)
+    run_wall = time.perf_counter() - t0
+
+    OBS.reset().enable()
+    try:
+        run_single("mcf", HOMOGEN_DDR3, "homogen", n_accesses=n)
+        # Each enabled-mode registry touch corresponds to one disabled
+        # guard evaluation: two per memory batch (controller + system),
+        # one per page placement, one per span/instant event, plus a
+        # small constant for the per-run publish/meta hooks.
+        batches = OBS.counters.get("memsys.batches", 0)
+        placements = sum(v for k, v in OBS.counters.items()
+                         if k.startswith("alloc.placed."))
+        n_sites = 2 * batches + placements + len(OBS.events) + 16
+    finally:
+        OBS.reset().disable()
+
+    per_op = timeit(lambda: OBS.add("x", 1), number=100_000) / 100_000
+    estimated = n_sites * per_op / run_wall
+    print(f"\nobs disabled overhead: {n_sites} sites x {per_op * 1e9:.0f}ns"
+          f" / {run_wall:.3f}s = {estimated:.4%}")
+    assert estimated < 0.05, (n_sites, per_op, run_wall, estimated)

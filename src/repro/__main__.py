@@ -17,6 +17,7 @@ import sys
 
 from repro.moca.classify import classify_object, type_to_class_letter
 from repro.moca.profiler import profile_app
+from repro.obs import OBS, ProgressReporter, write_chrome_trace, write_jsonl
 from repro.sim.config import ALL_SYSTEMS
 from repro.sim.metrics import RunMetrics
 from repro.sim.multi import run_multi
@@ -92,6 +93,34 @@ def _cmd_experiments(args) -> int:
     return exp_main(args.rest)
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON "
+                             "(chrome://tracing / Perfetto) to PATH")
+    parser.add_argument("--obs-dump", metavar="PATH", default=None,
+                        help="write the structured JSONL event log to PATH")
+    parser.add_argument("--progress", action="store_true",
+                        help="narrate span completions on stderr")
+
+
+def _obs_begin(args) -> None:
+    """Enable the registry if any observability flag was given."""
+    if (getattr(args, "trace", None) or getattr(args, "obs_dump", None)
+            or getattr(args, "progress", False)):
+        OBS.enable()
+        if args.progress:
+            ProgressReporter().attach(OBS)
+
+
+def _obs_end(args) -> None:
+    if getattr(args, "trace", None):
+        path = write_chrome_trace(OBS, args.trace)
+        print(f"chrome trace written to {path}", file=sys.stderr)
+    if getattr(args, "obs_dump", None):
+        path = write_jsonl(OBS, args.obs_dump)
+        print(f"obs event log written to {path}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -107,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("app", choices=sorted(APPS))
     p.add_argument("--input", default="train", choices=("train", "ref"))
     p.add_argument("--accesses", type=int, default=120_000)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("run", help="run one application on one system")
@@ -118,6 +148,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--accesses", type=int, default=120_000)
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("runmix", help="run a 4-app workload set")
@@ -129,6 +160,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--accesses", type=int, default=60_000)
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_runmix)
 
     p = sub.add_parser("experiments",
@@ -137,7 +169,11 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_experiments)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    _obs_begin(args)
+    try:
+        return args.fn(args)
+    finally:
+        _obs_end(args)
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from repro.cpu.hierarchy import (
 )
 from repro.memctrl.request import MemRequest
 from repro.memctrl.system import MemorySystem
+from repro.obs.registry import OBS
 
 
 @dataclass(frozen=True)
@@ -233,7 +234,27 @@ class InOrderWindowCore:
         if self._n == 0:
             self._cycle += int(self.total_instructions / self.params.ipc)
             self.result.cycles = self._cycle
+            self.publish_obs()
             return self.result
         while not self.finished:
             self.run_episode(memsys)
+        self.publish_obs()
         return self.result
+
+    def publish_obs(self) -> None:
+        """Publish this core's retirement/stall counters to the registry.
+
+        Called once per completed replay (never inside the episode loop)
+        so the hot path carries no per-episode observability cost.
+        """
+        if not OBS.enabled:
+            return
+        r = self.result
+        prefix = f"core{self.core_id}"
+        OBS.add(f"{prefix}.instructions_retired", r.total_instructions)
+        OBS.add(f"{prefix}.cycles", r.cycles)
+        OBS.add(f"{prefix}.episodes", r.n_episodes)
+        OBS.add(f"{prefix}.demand_requests", r.n_demand)
+        OBS.add(f"{prefix}.load_misses", r.n_load_misses)
+        OBS.add(f"{prefix}.stall_cycles", r.load_stall_cycles)
+        OBS.add(f"{prefix}.mem_access_cycles", r.mem_access_cycles)

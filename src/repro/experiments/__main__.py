@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments fig08
     python -m repro.experiments table3 headline
     python -m repro.experiments all --fidelity tiny
+    python -m repro.experiments fig08 --progress --trace out.json
 """
 
 from __future__ import annotations
@@ -14,6 +15,8 @@ import sys
 import time
 
 from repro.experiments import runner as _runner
+from repro.obs import OBS, ProgressReporter, run_meta, write_chrome_trace, \
+    write_jsonl
 from repro.experiments import (
     devices, fig01, fig02, fig08, fig09, fig10, fig11, fig12, fig13,
     fig14, fig15, fig16, headline, overhead, tables, taillat,
@@ -69,7 +72,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="render ASCII bar charts instead of tables")
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write JSON artefacts into DIR")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON "
+                             "(chrome://tracing / Perfetto) to PATH")
+    parser.add_argument("--obs-dump", metavar="PATH", default=None,
+                        help="write the structured JSONL event log to PATH")
+    parser.add_argument("--progress", action="store_true",
+                        help="narrate sweep/run completions on stderr")
     args = parser.parse_args(argv)
+
+    if args.trace or args.obs_dump or args.progress:
+        OBS.enable()
+        if args.progress:
+            ProgressReporter().attach(OBS)
 
     fidelity = _runner.FIDELITIES[args.fidelity]
     names: list[str] = []
@@ -83,18 +98,26 @@ def main(argv: list[str] | None = None) -> int:
     saved = []
     for name in names:
         t0 = time.time()
-        fig = EXPERIMENTS[name](fidelity)
+        with OBS.span(f"experiment.{name}", fidelity=fidelity.name):
+            fig = EXPERIMENTS[name](fidelity)
         print(fig.render_bars() if args.bars else fig.render())
         print(f"[{name}: {time.time() - t0:.1f}s]")
         print()
         if args.save:
             from repro.experiments.store import save_figure
-            save_figure(fig, args.save)
+            save_figure(fig, args.save,
+                        meta=run_meta(fidelity=fidelity, experiment=name))
             saved.append(fig.figure_id)
     if args.save and saved:
         from repro.experiments.store import write_manifest
         write_manifest(args.save, fidelity, saved)
         print(f"artefacts written to {args.save}/")
+    if args.trace:
+        path = write_chrome_trace(OBS, args.trace)
+        print(f"chrome trace written to {path}", file=sys.stderr)
+    if args.obs_dump:
+        path = write_jsonl(OBS, args.obs_dump)
+        print(f"obs event log written to {path}", file=sys.stderr)
     return 0
 
 

@@ -13,6 +13,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.obs.registry import OBS
 from repro.sim.config import (
     HETER_CONFIG1,
     HETER_CONFIG2,
@@ -82,9 +83,12 @@ def sweep_workers() -> int:
     handles one workload's full system row so its per-process profiling
     and cache-filter caches stay warm.
     """
+    raw = os.environ.get("REPRO_WORKERS", "1")
     try:
-        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+        return max(1, int(raw))
     except ValueError:
+        OBS.warn(f"REPRO_WORKERS={raw!r} is not an integer; "
+                 f"defaulting to 1 worker")
         return 1
 
 
@@ -117,10 +121,16 @@ def _run_rows(row_fn, keys, fidelity):
     args = [(k, fidelity) for k in keys]
     workers = sweep_workers()
     if workers > 1 and len(args) > 1:
+        # Worker processes carry their own (disabled) obs registries;
+        # only the parent's sweep span survives in the trace.
         with ProcessPoolExecutor(max_workers=min(workers, len(args))) as ex:
             rows = list(ex.map(row_fn, args))
     else:
-        rows = [row_fn(a) for a in args]
+        rows = []
+        for a in args:
+            with OBS.span(f"sweep.row.{a[0]}"):
+                rows.append(row_fn(a))
+            OBS.add("sweep.rows_done")
     return {k: m for row in rows for k, m in row}
 
 
@@ -128,21 +138,24 @@ def _run_rows(row_fn, keys, fidelity):
 def single_sweep(fidelity: Fidelity = DEFAULT
                  ) -> dict[tuple[str, str], RunMetrics]:
     """All (application, system) single-core runs → metrics."""
-    return _run_rows(_single_row, APP_ORDER, fidelity)
+    with OBS.span("sweep.single", fidelity=fidelity.name):
+        return _run_rows(_single_row, APP_ORDER, fidelity)
 
 
 @lru_cache(maxsize=8)
 def multi_sweep(fidelity: Fidelity = DEFAULT
                 ) -> dict[tuple[str, str], RunMetrics]:
     """All (workload set, system) 4-core runs → metrics."""
-    return _run_rows(_multi_row, MIX_NAMES, fidelity)
+    with OBS.span("sweep.multi", fidelity=fidelity.name):
+        return _run_rows(_multi_row, MIX_NAMES, fidelity)
 
 
 @lru_cache(maxsize=8)
 def config_sweep(fidelity: Fidelity = DEFAULT
                  ) -> dict[tuple[str, str, str], RunMetrics]:
     """(config, workload set, policy) runs for Figs. 14–15."""
-    return _run_rows(_config_row, SWEEP_MIXES, fidelity)
+    with OBS.span("sweep.config", fidelity=fidelity.name):
+        return _run_rows(_config_row, SWEEP_MIXES, fidelity)
 
 
 @dataclass
@@ -154,6 +167,9 @@ class FigureResult:
     columns: list[str]
     rows: list[list[object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Provenance block (see :func:`repro.obs.provenance.run_meta`);
+    #: saved alongside the data by :mod:`repro.experiments.store`.
+    meta: dict = field(default_factory=dict)
 
     def add_row(self, *values: object) -> None:
         if len(values) != len(self.columns):
@@ -209,8 +225,10 @@ class FigureResult:
         ]
         if not numeric_cols:
             return self.render()
-        peak = max(float(r[i]) for r in self.rows for i in numeric_cols
-                   if float(r[i]) > 0) or 1.0
+        # `default=0.0` guards the all-non-positive (or no-row) figure:
+        # an empty generator would raise ValueError; scale such bars to 1.
+        peak = max((float(r[i]) for r in self.rows for i in numeric_cols
+                    if float(r[i]) > 0), default=0.0) or 1.0
         label_w = max(len(self.columns[i]) for i in numeric_cols)
         lines = [f"== {self.figure_id}: {self.title} =="]
         for row in self.rows:
@@ -249,6 +267,7 @@ class FigureResult:
             "columns": list(self.columns),
             "rows": [list(r) for r in self.rows],
             "notes": list(self.notes),
+            "meta": dict(self.meta),
         }
 
     @classmethod
@@ -258,6 +277,7 @@ class FigureResult:
         for row in data["rows"]:
             fig.add_row(*row)
         fig.notes = list(data.get("notes", []))
+        fig.meta = dict(data.get("meta", {}))
         return fig
 
 

@@ -19,11 +19,20 @@ from repro.experiments.runner import Fidelity, FigureResult
 FORMAT_VERSION = 1
 
 
-def save_figure(fig: FigureResult, directory: str | Path) -> Path:
-    """Write one figure artefact; returns the file path."""
+def save_figure(fig: FigureResult, directory: str | Path,
+                meta: dict | None = None) -> Path:
+    """Write one figure artefact; returns the file path.
+
+    ``meta`` (see :func:`repro.obs.provenance.run_meta`) is merged into
+    the figure's provenance block before serializing, so artefacts record
+    config hash, fidelity, seed, phase wall-times, and counter snapshots
+    next to their numbers.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{fig.figure_id}.json"
+    if meta:
+        fig.meta = {**fig.meta, **meta}
     doc = {"version": FORMAT_VERSION, **fig.to_dict()}
     path.write_text(json.dumps(doc, indent=1))
     return path
@@ -42,20 +51,28 @@ def write_manifest(directory: str | Path, fidelity: Fidelity,
                    figure_ids: list[str]) -> Path:
     """Record campaign provenance next to the artefacts."""
     import repro
+    from repro.obs.registry import OBS
+    from repro.util.rng import ROOT_SEED
 
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / "manifest.json"
-    path.write_text(json.dumps({
+    doc = {
         "version": FORMAT_VERSION,
         "generated_utc": datetime.now(timezone.utc).isoformat(),
         "library_version": repro.__version__,
         "python": platform.python_version(),
+        "seed": ROOT_SEED,
         "fidelity": {"name": fidelity.name,
                      "n_single": fidelity.n_single,
                      "n_multi": fidelity.n_multi},
         "figures": sorted(figure_ids),
-    }, indent=1))
+    }
+    if OBS.enabled:
+        doc["phase_seconds"] = {k: round(v, 6)
+                                for k, v in OBS.phase_seconds().items()}
+        doc["counters"] = dict(OBS.counters)
+    path.write_text(json.dumps(doc, indent=1))
     return path
 
 

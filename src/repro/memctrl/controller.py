@@ -15,6 +15,7 @@ from repro.memctrl.request import MemRequest
 from repro.memctrl.scheduler import frfcfs_order
 from repro.memctrl.stats import LatencyHistogram
 from repro.memdev.module import MemoryModule
+from repro.obs.registry import OBS
 
 SchedulerFn = Callable[[MemoryModule, Sequence[MemRequest]], list[MemRequest]]
 
@@ -59,6 +60,16 @@ class ChannelController:
             if req.demand:
                 self.latency_hist.record(res.queue_cycles
                                          + res.service_cycles)
+        if OBS.enabled:
+            # One registry touch per batch (not per request): per-channel
+            # request/row-hit counters and the batch's queue occupancy.
+            name = self.module.name
+            OBS.add(f"mem.{name}.requests", len(ordered))
+            OBS.add(f"mem.{name}.row_hits",
+                    sum(1 for r in ordered if r.row_hit))
+            OBS.add(f"mem.{name}.queue_cycles",
+                    sum(r.queue_cycles for r in ordered))
+            OBS.gauge(f"mem.{name}.queue_occupancy", len(ordered))
 
     @property
     def mean_latency(self) -> float:

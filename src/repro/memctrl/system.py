@@ -25,6 +25,7 @@ from repro.memctrl.scheduler import frfcfs_order
 from repro.memdev.module import MemoryModule
 from repro.memdev.power import PowerModel
 from repro.memdev.timing import DeviceTiming
+from repro.obs.registry import OBS
 
 
 class ChannelGroup:
@@ -119,6 +120,12 @@ class MemorySystem:
             per_group[req.group].append(req)
         for gi, reqs in per_group.items():
             self.groups[gi].service_batch(reqs)
+        if OBS.enabled:
+            OBS.add("memsys.batches")
+            OBS.add("memsys.requests", len(batch))
+            for gi, reqs in per_group.items():
+                OBS.add(f"memsys.group.{self.group_names[gi]}.requests",
+                        len(reqs))
 
     def service_one(self, req: MemRequest) -> MemRequest:
         """Serve a single request (convenience for tests/examples)."""

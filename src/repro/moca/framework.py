@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.moca.classify import DEFAULT_THRESHOLDS, Thresholds, classify_object
 from repro.moca.naming import ObjectName, name_from_site
 from repro.moca.profiler import ProfiledApp, profile_app
+from repro.obs.registry import OBS
 from repro.trace.events import AccessTrace
 from repro.vm.heap import ObjectType
 from repro.workloads.inputs import TRAIN
@@ -77,6 +78,7 @@ class MocaFramework:
             p.name: p.llc_mpki / max(1.0, p.size_bytes / 1024.0)
             for p in profiled.lut
         }
+        OBS.add("moca.objects_classified", len(types))
         return InstrumentedApp(app_name=app_name, types=types,
                                thresholds=self.thresholds, heat=heat)
 

@@ -28,6 +28,7 @@ from repro.memdev.presets import DDR3
 from repro.moca.allocation import HomogeneousPolicy, plan_placement
 from repro.moca.lut import ObjectProfile, ProfileLUT
 from repro.moca.naming import name_from_site
+from repro.obs.registry import OBS
 from repro.trace.events import AccessTrace
 from repro.util.units import MIB
 from repro.vm.allocator import OSPageAllocator
@@ -76,33 +77,43 @@ class MemoryObjectProfiler:
                       input_name: str = TRAIN,
                       memsys: MemorySystem | None = None) -> ProfiledApp:
         """Profile an already-built access trace."""
+        with OBS.span("moca.profile", app=app_name, input=input_name):
+            return self._profile_trace(trace, app_name, input_name, memsys)
+
+    def _profile_trace(self, trace: AccessTrace, app_name: str,
+                       input_name: str,
+                       memsys: MemorySystem | None) -> ProfiledApp:
         memsys = memsys or default_profiling_system()
-        stream, cache_stats = CacheHierarchy().filter_trace(trace)
+        with OBS.span("moca.profile.cache_filter"):
+            stream, cache_stats = CacheHierarchy().filter_trace(trace)
 
         pools = {i: FramePool(g.capacity_bytes, i, g.name)
                  for i, g in enumerate(memsys.groups)}
         allocator = OSPageAllocator(pools, roles={"main": 0})
         plan = plan_placement([stream], HomogeneousPolicy(), allocator)
 
-        core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0],
-                                 self.core_params)
-        result = core.run_to_completion(memsys)
+        with OBS.span("moca.profile.core_replay"):
+            core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0],
+                                     self.core_params)
+            result = core.run_to_completion(memsys)
 
-        ki = cache_stats.total_instructions / 1000.0
-        lut = ProfileLUT(app_name)
-        for obj in trace.layout.objects:
-            acc, misses = cache_stats.per_object.get(obj.obj_id, [0, 0])
-            lut.register(ObjectProfile(
-                name=name_from_site(obj.site),
-                label=f"{app_name}.{obj.name}" if app_name else obj.name,
-                size_bytes=obj.size_bytes,
-                start_vaddr=obj.vbase,
-                accesses=acc,
-                llc_misses=misses,
-                load_misses=result.load_misses_by_obj.get(obj.obj_id, 0),
-                stall_cycles=result.stall_by_obj.get(obj.obj_id, 0),
-                kilo_instructions=ki,
-            ))
+        with OBS.span("moca.profile.lut_build"):
+            ki = cache_stats.total_instructions / 1000.0
+            lut = ProfileLUT(app_name)
+            for obj in trace.layout.objects:
+                acc, misses = cache_stats.per_object.get(obj.obj_id, [0, 0])
+                lut.register(ObjectProfile(
+                    name=name_from_site(obj.site),
+                    label=f"{app_name}.{obj.name}" if app_name else obj.name,
+                    size_bytes=obj.size_bytes,
+                    start_vaddr=obj.vbase,
+                    accesses=acc,
+                    llc_misses=misses,
+                    load_misses=result.load_misses_by_obj.get(obj.obj_id, 0),
+                    stall_cycles=result.stall_by_obj.get(obj.obj_id, 0),
+                    kilo_instructions=ki,
+                ))
+        OBS.add("moca.objects_profiled", len(trace.layout.objects))
 
         segment_mpki = {}
         for seg_id, label in _SEGMENT_LABELS.items():

@@ -1,0 +1,27 @@
+"""Observability: structured tracing, counters, and run provenance.
+
+Public surface:
+
+* :data:`OBS` — the process-wide :class:`Registry` the stack's
+  instrumentation hooks publish to (disabled by default; enabling it is
+  what ``--trace``/``--progress``/``--obs-dump`` do);
+* :mod:`repro.obs.sinks` — JSONL and Chrome ``trace_event`` exporters;
+* :class:`ProgressReporter` — stderr narration of long sweeps;
+* :func:`run_meta` / :func:`config_hash` — provenance ``meta`` blocks.
+"""
+
+from repro.obs.progress import ProgressReporter
+from repro.obs.provenance import config_hash, run_meta
+from repro.obs.registry import OBS, Registry, SpanEvent
+from repro.obs.sinks import (
+    chrome_trace_doc,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "OBS", "Registry", "SpanEvent", "ProgressReporter",
+    "config_hash", "run_meta",
+    "chrome_trace_doc", "read_jsonl", "write_chrome_trace", "write_jsonl",
+]

@@ -1,0 +1,86 @@
+"""Run provenance: the ``meta`` block stamped on metrics and artefacts.
+
+Every :class:`~repro.sim.metrics.RunMetrics` and every saved figure
+artefact carries a ``meta`` dict recording *how* its numbers were
+produced — config hash, thresholds, fidelity, root seed, wall-time per
+phase, and a counter snapshot — so a drifting figure can be diffed
+against a known-good artefact without re-simulating (was it the config?
+the thresholds? a slow phase?).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+from datetime import datetime, timezone
+
+from repro.obs.registry import OBS, Registry
+from repro.util.rng import ROOT_SEED
+
+__all__ = ["META_SCHEMA", "config_hash", "run_meta"]
+
+META_SCHEMA = 1
+
+
+def _jsonable(obj: object) -> object:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    return obj
+
+
+def config_hash(config: object) -> str:
+    """Stable short hash of any (dataclass) configuration object.
+
+    SHA-256 over the sorted-key JSON form, truncated to 16 hex chars —
+    enough to tell two configs apart in a manifest, short enough to eyeball.
+    """
+    doc = json.dumps(_jsonable(config), sort_keys=True, default=repr)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+
+def run_meta(*, config: object | None = None, policy: str | None = None,
+             workload: str | None = None, thresholds: object | None = None,
+             fidelity: object | None = None, seed: int = ROOT_SEED,
+             registry: Registry | None = None, **extra) -> dict:
+    """Assemble a provenance ``meta`` block for one run or artefact.
+
+    Phase wall-times and the counter snapshot are included only when the
+    registry is enabled (they are empty otherwise, and collecting them
+    is the whole point of ``--trace``/``--obs-dump`` runs).
+    """
+    from repro import __version__  # deferred: repro imports the sim layers
+
+    registry = OBS if registry is None else registry
+    meta: dict = {
+        "schema": META_SCHEMA,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "seed": seed,
+    }
+    if config is not None:
+        meta["config"] = {"name": getattr(config, "name", str(config)),
+                          "hash": config_hash(config)}
+    if policy is not None:
+        meta["policy"] = policy
+    if workload is not None:
+        meta["workload"] = workload
+    if thresholds is not None:
+        meta["thresholds"] = _jsonable(thresholds)
+    if fidelity is not None:
+        if isinstance(fidelity, str):
+            meta["fidelity"] = {"name": fidelity}
+        else:
+            meta["fidelity"] = {
+                "name": getattr(fidelity, "name", repr(fidelity)),
+                "n_single": getattr(fidelity, "n_single", None),
+                "n_multi": getattr(fidelity, "n_multi", None),
+            }
+    if registry.enabled:
+        meta["phase_seconds"] = {
+            k: round(v, 6) for k, v in registry.phase_seconds().items()}
+        meta["counters"] = dict(registry.counters)
+    meta.update(extra)
+    return meta

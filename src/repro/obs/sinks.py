@@ -1,0 +1,99 @@
+"""Telemetry sinks: JSONL event logs and Chrome ``trace_event`` exports.
+
+Both sinks serialize the same :class:`~repro.obs.registry.Registry`
+event list:
+
+* :func:`write_jsonl` — one JSON object per line (spans, instants, and a
+  final counter/gauge snapshot); greppable and machine-mergeable.
+* :func:`write_chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` and https://ui.perfetto.dev: complete (``"X"``)
+  events for spans, counter (``"C"``) samples from the snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.registry import Registry
+
+__all__ = ["write_jsonl", "read_jsonl", "chrome_trace_doc",
+           "write_chrome_trace"]
+
+JSONL_VERSION = 1
+
+
+def write_jsonl(registry: Registry, path: str | Path) -> Path:
+    """Write the registry's events + final snapshot as JSON Lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as f:
+        f.write(json.dumps({"type": "header", "version": JSONL_VERSION,
+                            "pid": os.getpid()}) + "\n")
+        for event in registry.events:
+            f.write(json.dumps(event.to_dict()) + "\n")
+        f.write(json.dumps({"type": "snapshot",
+                            **registry.snapshot()}) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a :func:`write_jsonl` file back into a list of records."""
+    records = []
+    with Path(path).open() as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def chrome_trace_doc(registry: Registry,
+                     process_name: str = "repro-sim") -> dict:
+    """Build a Chrome Trace Event Format document from the registry.
+
+    Spans become complete (``ph="X"``) events with microsecond
+    timestamps relative to the earliest span; counters become one
+    ``ph="C"`` sample each at the trace end, so Perfetto renders the
+    final per-module totals as counter tracks.
+    """
+    pid = os.getpid()
+    trace_events: list[dict] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": process_name},
+    }]
+    starts = [e.start_ns for e in registry.events]
+    t0 = min(starts) if starts else 0
+    t_end = 0.0
+    for event in registry.events:
+        ts = (event.start_ns - t0) / 1000.0
+        if event.kind == "span" and event.end_ns is not None:
+            dur = event.duration_ns / 1000.0
+            t_end = max(t_end, ts + dur)
+            trace_events.append({
+                "ph": "X", "pid": pid, "tid": 0, "cat": "sim",
+                "name": event.name, "ts": ts, "dur": dur,
+                "args": {**event.args, "depth": event.depth},
+            })
+        elif event.kind == "instant":
+            t_end = max(t_end, ts)
+            trace_events.append({
+                "ph": "i", "pid": pid, "tid": 0, "cat": "sim", "s": "p",
+                "name": event.name, "ts": ts, "args": dict(event.args),
+            })
+    for name, value in sorted(registry.counters.items()):
+        trace_events.append({
+            "ph": "C", "pid": pid, "tid": 0, "name": name,
+            "ts": t_end, "args": {"value": value},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(registry: Registry, path: str | Path,
+                       process_name: str = "repro-sim") -> Path:
+    """Write a ``chrome://tracing``/Perfetto-loadable JSON trace file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_doc(registry, process_name)))
+    return path

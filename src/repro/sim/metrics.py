@@ -48,6 +48,11 @@ class RunMetrics:
     latency_p95: int = 0
     latency_p99: int = 0
     per_core: tuple = field(default_factory=tuple)
+    #: Provenance block (config hash, thresholds, phase wall-times,
+    #: counter snapshot — see :func:`repro.obs.provenance.run_meta`).
+    #: Excluded from equality: two runs with identical numbers but
+    #: different timestamps are the same result.
+    meta: dict = field(default_factory=dict, compare=False, repr=False)
 
     # ---- derived ------------------------------------------------------------
 
@@ -117,6 +122,7 @@ class RunMetrics:
                  "stall_per_load_miss": r.stall_per_load_miss}
                 for r in self.per_core
             ],
+            "meta": dict(self.meta),
         }
 
 
@@ -152,7 +158,8 @@ def fairness(shared: RunMetrics, alone: list[RunMetrics]) -> float:
 
 def collect_metrics(system: str, policy: str, workload: str,
                     results: list[CoreResult],
-                    memsys: MemorySystem) -> RunMetrics:
+                    memsys: MemorySystem,
+                    meta: dict | None = None) -> RunMetrics:
     """Aggregate core results + memory-system counters into RunMetrics."""
     exec_cycles = max((r.cycles for r in results), default=0)
     summary: SystemSummary = memsys.summary(exec_cycles)
@@ -175,4 +182,5 @@ def collect_metrics(system: str, policy: str, workload: str,
         latency_p95=hist.p95,
         latency_p99=hist.p99,
         per_core=tuple(results),
+        meta=meta or {},
     )

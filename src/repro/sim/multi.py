@@ -14,6 +14,8 @@ import heapq
 from repro.cpu.core import CoreParams, InOrderWindowCore
 from repro.moca.classify import Thresholds
 from repro.moca.allocation import plan_placement
+from repro.obs.provenance import run_meta
+from repro.obs.registry import OBS
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import RunMetrics, collect_metrics
 from repro.sim.single import filtered_stream, make_policy
@@ -35,33 +37,42 @@ def run_multi(workload: WorkloadMix | str, config: SystemConfig,
     """
     if isinstance(workload, str):
         workload = make_mix(workload)
-    streams = [filtered_stream(a, input_name, n_accesses)[0]
-               for a in workload.apps]
-    layouts = [build_app_trace(a, input_name, n_accesses).layout
-               for a in workload.apps]
-    memsys = config.build()
-    allocator = config.make_allocator(memsys)
-    policy = make_policy(policy_name, list(workload.apps), input_name,
-                         n_accesses, thresholds, profile_accesses)
-    plan = plan_placement(streams, policy, allocator, layouts=layouts)
-    cores = [
-        InOrderWindowCore(s, plan.groups[i], plan.gaddrs[i],
-                          core_params, core_id=i)
-        for i, s in enumerate(streams)
-    ]
+    with OBS.span(f"run.{workload.name}.{policy_name}", system=config.name,
+                  n_cores=len(workload.apps)):
+        streams = [filtered_stream(a, input_name, n_accesses)[0]
+                   for a in workload.apps]
+        layouts = [build_app_trace(a, input_name, n_accesses).layout
+                   for a in workload.apps]
+        with OBS.span("placement", policy=policy_name):
+            memsys = config.build()
+            allocator = config.make_allocator(memsys)
+            policy = make_policy(policy_name, list(workload.apps),
+                                 input_name, n_accesses, thresholds,
+                                 profile_accesses)
+            plan = plan_placement(streams, policy, allocator,
+                                  layouts=layouts)
+        cores = [
+            InOrderWindowCore(s, plan.groups[i], plan.gaddrs[i],
+                              core_params, core_id=i)
+            for i, s in enumerate(streams)
+        ]
 
-    # Global-time interleave: always advance the core whose next episode
-    # issues earliest.  Ties break on core id for determinism.
-    heap = [(c.peek_next_issue(), i) for i, c in enumerate(cores)
-            if not c.finished]
-    heapq.heapify(heap)
-    while heap:
-        _, i = heapq.heappop(heap)
-        core = cores[i]
-        core.run_episode(memsys)
-        if not core.finished:
-            heapq.heappush(heap, (core.peek_next_issue(), i))
+        # Global-time interleave: always advance the core whose next episode
+        # issues earliest.  Ties break on core id for determinism.
+        with OBS.span("core_replay", mix=workload.name):
+            heap = [(c.peek_next_issue(), i) for i, c in enumerate(cores)
+                    if not c.finished]
+            heapq.heapify(heap)
+            while heap:
+                _, i = heapq.heappop(heap)
+                core = cores[i]
+                core.run_episode(memsys)
+                if not core.finished:
+                    heapq.heappush(heap, (core.peek_next_issue(), i))
 
-    results = [c.run_to_completion(memsys) for c in cores]  # finalize tails
-    return collect_metrics(config.name, policy_name, workload.name,
-                           results, memsys)
+            # finalize tails (also publishes per-core obs counters)
+            results = [c.run_to_completion(memsys) for c in cores]
+        meta = run_meta(config=config, policy=policy_name,
+                        workload=workload.name, thresholds=thresholds)
+        return collect_metrics(config.name, policy_name, workload.name,
+                               results, memsys, meta=meta)

@@ -21,6 +21,8 @@ from repro.moca.allocation import (
 )
 from repro.moca.classify import Thresholds, class_letter_to_type
 from repro.moca.framework import MocaFramework
+from repro.obs.provenance import run_meta
+from repro.obs.registry import OBS
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import RunMetrics, collect_metrics
 from repro.workloads.inputs import REF, build_app_trace
@@ -30,9 +32,20 @@ from repro.workloads.spec import APP_CLASSES
 @lru_cache(maxsize=128)
 def filtered_stream(app_name: str, input_name: str,
                     n_accesses: int) -> tuple[MissStream, CacheStats]:
-    """Cache-filter one application input (memoized; treat as immutable)."""
-    trace = build_app_trace(app_name, input_name, n_accesses)
-    return CacheHierarchy().filter_trace(trace)
+    """Cache-filter one application input (memoized — **do not mutate**).
+
+    Every call with the same ``(app, input, length)`` key returns the
+    *same* ``(MissStream, CacheStats)`` objects, shared by every run —
+    single-core, multicore, and the profiler alike.  Mutating the
+    returned stream (e.g. reordering its arrays in place) would silently
+    corrupt all subsequent runs in the process.  Callers needing a
+    modified stream must copy first; ``tests/test_sim.py`` pins the
+    shared-identity contract.
+    """
+    with OBS.span("cache_filter", app=app_name, input=input_name,
+                  n_accesses=n_accesses):
+        trace = build_app_trace(app_name, input_name, n_accesses)
+        return CacheHierarchy().filter_trace(trace)
 
 
 def make_policy(policy_name: str, app_names: list[str],
@@ -74,15 +87,21 @@ def run_single(app_name: str, config: SystemConfig, policy_name: str,
                profile_accesses: int | None = None,
                core_params: CoreParams | None = None) -> RunMetrics:
     """Run one application on a fresh instance of ``config``."""
-    stream, _ = filtered_stream(app_name, input_name, n_accesses)
-    layout = build_app_trace(app_name, input_name, n_accesses).layout
-    memsys = config.build()
-    allocator = config.make_allocator(memsys)
-    policy = make_policy(policy_name, [app_name], input_name, n_accesses,
-                         thresholds, profile_accesses)
-    plan = plan_placement([stream], policy, allocator, layouts=[layout])
-    core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0],
-                             core_params)
-    result = core.run_to_completion(memsys)
-    return collect_metrics(config.name, policy_name, app_name,
-                           [result], memsys)
+    with OBS.span(f"run.{app_name}.{policy_name}", system=config.name):
+        stream, _ = filtered_stream(app_name, input_name, n_accesses)
+        layout = build_app_trace(app_name, input_name, n_accesses).layout
+        with OBS.span("placement", policy=policy_name):
+            memsys = config.build()
+            allocator = config.make_allocator(memsys)
+            policy = make_policy(policy_name, [app_name], input_name,
+                                 n_accesses, thresholds, profile_accesses)
+            plan = plan_placement([stream], policy, allocator,
+                                  layouts=[layout])
+        with OBS.span("core_replay", app=app_name):
+            core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0],
+                                     core_params)
+            result = core.run_to_completion(memsys)
+        meta = run_meta(config=config, policy=policy_name,
+                        workload=app_name, thresholds=thresholds)
+        return collect_metrics(config.name, policy_name, app_name,
+                               [result], memsys, meta=meta)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.registry import OBS
 from repro.vm.heap import FALLBACK_CHAINS, ObjectType
 from repro.vm.pagetable import PageTable
 from repro.vm.physmem import FramePool, OutOfMemory
@@ -91,7 +92,15 @@ class OSPageAllocator:
             if frame is not None:
                 self.page_table.map_page(vpage, group, frame)
                 self.stats.record(typ, group, spilled=i > 0)
+                if OBS.enabled:
+                    OBS.add(f"alloc.placed.{typ.name}")
+                    if i > 0:
+                        # Paper Sec. IV-C/D: the preferred module was
+                        # full and the page fell through its chain.
+                        OBS.add(f"alloc.spill.{typ.name}")
                 return group, frame
+        if OBS.enabled:
+            OBS.add(f"alloc.oom.{typ.name}")
         raise OutOfMemory(
             f"no frames left in any of {len(chain)} pools for type {typ}")
 

@@ -91,8 +91,17 @@ class TestCoreInvariants:
     @given(st.lists(record, min_size=1, max_size=60),
            st.integers(1, 4))
     @settings(max_examples=30, deadline=None)
-    def test_smaller_mshr_never_faster(self, records, mshr):
-        """Restricting MLP can only slow the core down (same memory)."""
+    def test_smaller_mshr_never_more_parallel(self, records, mshr):
+        """Restricting MLP never merges episodes and never changes what
+        was executed — only when.
+
+        End-to-end cycle counts are deliberately NOT compared: they are
+        not monotone in MSHR count.  Episode boundaries are anchored at
+        the ROB head, so shrinking the MSHR can shift a later miss into
+        a window where it overlaps, and a narrower core also puts fewer
+        simultaneous requests into the shared FR-FCFS queues, both of
+        which can make the narrow core finish a particular trace sooner.
+        """
         s = _make_stream(records)
         groups = np.zeros(len(s), dtype=np.int32)
         gaddrs = s.vline % (8 * MIB)
@@ -100,7 +109,15 @@ class TestCoreInvariants:
             s, groups, gaddrs, CoreParams(mshr=20)).run_to_completion(_memsys())
         narrow = InOrderWindowCore(
             s, groups, gaddrs, CoreParams(mshr=mshr)).run_to_completion(_memsys())
-        assert narrow.cycles >= wide.cycles - 1  # tie tolerance
+        # Structural monotonicity: a batch that fits in `mshr` demands
+        # also fits in 20, so narrowing can only split episodes.
+        assert narrow.n_episodes >= wide.n_episodes
+        # Timing-independent conservation: the MSHR width changes the
+        # schedule, never the set of records replayed.
+        assert narrow.n_demand == wide.n_demand
+        assert narrow.n_writebacks == wide.n_writebacks
+        assert narrow.n_load_misses == wide.n_load_misses
+        assert narrow.total_instructions == wide.total_instructions
 
 
 class TestPlacementInvariants:

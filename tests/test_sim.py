@@ -172,3 +172,25 @@ class TestRunMulti:
         het = run_multi("3L1B", HETER_CONFIG1, "heter-app", n_accesses=NM)
         moca = run_multi("3L1B", HETER_CONFIG1, "moca", n_accesses=NM)
         assert moca.mem_access_cycles < het.mem_access_cycles
+
+
+class TestFilteredStreamMemoization:
+    """The memoized cache-filter pass hands out shared objects.
+
+    Callers across single-, multi-core, and profiling paths receive the
+    *same* ``(MissStream, CacheStats)`` instances and must never mutate
+    them — see the :func:`repro.sim.single.filtered_stream` docstring.
+    """
+
+    def test_same_key_returns_identical_objects(self):
+        from repro.sim.single import filtered_stream
+        a_stream, a_stats = filtered_stream("stitch", "ref", N)
+        b_stream, b_stats = filtered_stream("stitch", "ref", N)
+        assert a_stream is b_stream
+        assert a_stats is b_stats
+
+    def test_distinct_keys_are_independent(self):
+        from repro.sim.single import filtered_stream
+        a, _ = filtered_stream("stitch", "ref", N)
+        b, _ = filtered_stream("stitch", "ref", N + 1)
+        assert a is not b
