@@ -19,7 +19,8 @@ from repro.moca.framework import MocaFramework
 from repro.moca.profiler import profile_app
 from repro.sim.config import HETER_CONFIG1, HOMOGEN_DDR3
 from repro.sim.metrics import collect_metrics
-from repro.sim.single import filtered_stream, run_single
+from repro.sim.single import _run_single as run_single
+from repro.sim.single import filtered_stream
 from repro.workloads.inputs import build_app_trace
 
 

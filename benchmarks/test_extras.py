@@ -48,7 +48,7 @@ def test_obs_disabled_overhead():
     from repro.experiments.runner import TINY
     from repro.obs.registry import OBS
     from repro.sim.config import HOMOGEN_DDR3
-    from repro.sim.single import run_single
+    from repro.sim.single import _run_single as run_single
 
     assert not OBS.enabled
     n = TINY.n_single

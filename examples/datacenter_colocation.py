@@ -11,7 +11,7 @@ Run:  python examples/datacenter_colocation.py [--fast]
 
 import argparse
 
-from repro import HETER_CONFIG1, HOMOGEN_DDR3, mix, run_multi
+from repro import HETER_CONFIG1, RunSpec, mix, run
 
 MIXES = ("3L1B", "2L1B1N", "2B2N")
 
@@ -22,9 +22,9 @@ def main(fast: bool = False) -> None:
     for mix_name in MIXES:
         workload = mix(mix_name)
         print(f"== mix {mix_name}: {', '.join(workload.apps)} ==")
-        ddr3 = run_multi(workload, HOMOGEN_DDR3, "homogen", n_accesses=n)
-        het = run_multi(workload, HETER_CONFIG1, "heter-app", n_accesses=n)
-        moca = run_multi(workload, HETER_CONFIG1, "moca", n_accesses=n)
+        ddr3 = run(RunSpec(mix_name, "Homogen-DDR3", "homogen", n))
+        het = run(RunSpec(mix_name, "Heter-config1", "heter-app", n))
+        moca = run(RunSpec(mix_name, "Heter-config1", "moca", n))
         for label, m in (("Homogen-DDR3", ddr3), ("Heter-App", het),
                          ("MOCA", moca)):
             print(f"  {label:13s} exec={m.exec_cycles / ddr3.exec_cycles:5.3f}x  "

@@ -9,6 +9,8 @@ paper's choice of config1.
 Run:  python examples/memory_config_explorer.py
 """
 
+import warnings
+
 from repro import run_multi
 from repro.sim.config import (
     GroupSpec,
@@ -34,8 +36,13 @@ def main() -> None:
     print(f"workload set: {MIX}\n")
     rows = []
     for config in (HETER_CONFIG1, HETER_CONFIG2, HETER_CONFIG3, NO_LP):
-        het = run_multi(MIX, config, "heter-app")
-        moca = run_multi(MIX, config, "moca")
+        # NO_LP is not registered in ALL_SYSTEMS, so it cannot be named
+        # by a RunSpec; ad-hoc SystemConfig objects go through the legacy
+        # run_multi entry point (kept for exactly this use).
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            het = run_multi(MIX, config, "heter-app")
+            moca = run_multi(MIX, config, "moca")
         rows.append((config, het, moca))
 
     base_het, base_moca = rows[0][1], rows[0][2]

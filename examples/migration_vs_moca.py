@@ -10,9 +10,8 @@ hotness-driven migrator across migration aggressiveness levels.
 Run:  python examples/migration_vs_moca.py
 """
 
-from repro import HETER_CONFIG1
+from repro import HETER_CONFIG1, RunSpec, run
 from repro.sim.migration import run_single_migration
-from repro.sim.single import run_single
 from repro.vm.migration import MigrationConfig
 
 APPS = ("mcf", "lbm", "gcc")
@@ -22,8 +21,8 @@ N = 60_000
 def main() -> None:
     print(f"system: {HETER_CONFIG1.build().describe()}\n")
     for app in APPS:
-        moca = run_single(app, HETER_CONFIG1, "moca", n_accesses=N)
-        heta = run_single(app, HETER_CONFIG1, "heter-app", n_accesses=N)
+        moca = run(RunSpec(app, "Heter-config1", "moca", N))
+        heta = run(RunSpec(app, "Heter-config1", "heter-app", N))
         print(f"== {app} ==")
         print(f"  {'policy':24s} {'mem time':>12s} {'exec':>12s} "
               f"{'copies':>7s} {'overhead':>9s}")

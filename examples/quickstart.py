@@ -14,14 +14,12 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    HETER_CONFIG1,
-    HOMOGEN_DDR3,
-    HOMOGEN_RL,
     MocaFramework,
+    RunSpec,
     name_from_python_stack,
     name_from_site,
     profile_app,
-    run_single,
+    run,
 )
 
 APP = "disparity"  # the paper's Sec. VI-A anecdote application
@@ -55,11 +53,12 @@ def main() -> None:
 
     # --- 4. Allocation + evaluation --------------------------------------
     print("\n== Reference-input runs ==")
+    n = 120_000
     runs = {
-        "Homogen-DDR3": run_single(APP, HOMOGEN_DDR3, "homogen"),
-        "Homogen-RL": run_single(APP, HOMOGEN_RL, "homogen"),
-        "Heter-App": run_single(APP, HETER_CONFIG1, "heter-app"),
-        "MOCA": run_single(APP, HETER_CONFIG1, "moca"),
+        "Homogen-DDR3": run(RunSpec(APP, "Homogen-DDR3", "homogen", n)),
+        "Homogen-RL": run(RunSpec(APP, "Homogen-RL", "homogen", n)),
+        "Heter-App": run(RunSpec(APP, "Heter-config1", "heter-app", n)),
+        "MOCA": run(RunSpec(APP, "Heter-config1", "moca", n)),
     }
     base = runs["Homogen-DDR3"]
     print(f"{'system':14s} {'mem access':>11s} {'mem EDP':>8s} "

@@ -18,14 +18,19 @@ Classification and Allocation in Heterogeneous Memory Systems* (IPDPS
 
 Quickstart::
 
-    from repro import (profile_app, MocaFramework, run_single,
+    from repro import (profile_app, MocaFramework, RunSpec, run,
                        HETER_CONFIG1, HOMOGEN_DDR3)
 
     profiled = profile_app("mcf")                 # offline profiling
     moca = MocaFramework().instrument("mcf")      # classify objects
-    base = run_single("mcf", HOMOGEN_DDR3, "homogen")
-    best = run_single("mcf", HETER_CONFIG1, "moca")
+    base = run(RunSpec("mcf", "Homogen-DDR3", "homogen", 120_000))
+    best = run(RunSpec("mcf", "Heter-config1", "moca", 120_000))
     print(base.memory_edp / best.memory_edp)      # MOCA's EDP win
+
+A :class:`~repro.sim.spec.RunSpec` fully identifies a run; the sweep
+engine (:mod:`repro.experiments.engine`) schedules specs across worker
+processes and caches their results on disk keyed by the spec's content
+hash.  ``run_single``/``run_multi`` remain as deprecated aliases.
 """
 
 from repro.memdev import DDR3, HBM, LPDDR2, RLDRAM3, DeviceTiming, MemoryModule
@@ -58,11 +63,20 @@ from repro.sim import (
     HOMOGEN_LP,
     HOMOGEN_RL,
     RunMetrics,
+    RunSpec,
     SystemConfig,
+    run,
     run_multi,
     run_single,
 )
 from repro.workloads import APPS, APP_CLASSES, MIXES, build_app_trace, mix
+from repro.experiments.runner import (
+    Fidelity,
+    FigureResult,
+    config_sweep,
+    multi_sweep,
+    single_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -85,6 +99,10 @@ __all__ = [
     # sim
     "ALL_SYSTEMS", "HETER_CONFIG1", "HETER_CONFIG2", "HETER_CONFIG3",
     "HOMOGEN_DDR3", "HOMOGEN_HBM", "HOMOGEN_LP", "HOMOGEN_RL",
-    "RunMetrics", "SystemConfig", "run_multi", "run_single",
+    "RunMetrics", "RunSpec", "SystemConfig", "run",
+    "run_multi", "run_single",
+    # experiments
+    "Fidelity", "FigureResult",
+    "single_sweep", "multi_sweep", "config_sweep",
     "__version__",
 ]

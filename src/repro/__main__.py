@@ -13,15 +13,16 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.experiments import engine
 from repro.moca.classify import classify_object, type_to_class_letter
 from repro.moca.profiler import profile_app
 from repro.obs import OBS, ProgressReporter, write_chrome_trace, write_jsonl
 from repro.sim.config import ALL_SYSTEMS
 from repro.sim.metrics import RunMetrics
-from repro.sim.multi import run_multi
-from repro.sim.single import run_single
+from repro.sim.spec import RunSpec
 from repro.workloads.mixes import MIX_NAMES
 from repro.workloads.spec import APPS
 
@@ -74,23 +75,58 @@ def _emit(m: RunMetrics, as_json: bool) -> None:
         _print_metrics(m)
 
 
-def _cmd_run(args) -> int:
-    cfg = ALL_SYSTEMS[args.system]
-    m = run_single(args.app, cfg, args.policy, n_accesses=args.accesses)
+def _run_spec(args, workload: str) -> int:
+    spec = RunSpec(workload=workload, config=args.system,
+                   policy=args.policy, n_accesses=args.accesses)
+    m = engine.run_cached(spec)
     _emit(m, args.json)
+    stats = engine.cache_stats()
+    if stats is not None:
+        print(f"[result cache: {stats['hits']} hits, "
+              f"{stats['misses']} misses ({stats['directory']})]",
+              file=sys.stderr)
     return 0
+
+
+def _cmd_run(args) -> int:
+    return _run_spec(args, args.app)
 
 
 def _cmd_runmix(args) -> int:
-    cfg = ALL_SYSTEMS[args.system]
-    m = run_multi(args.mix, cfg, args.policy, n_accesses=args.accesses)
-    _emit(m, args.json)
-    return 0
+    return _run_spec(args, args.mix)
 
 
 def _cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as exp_main
     return exp_main(args.rest)
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent result-cache directory (default: "
+                             "$REPRO_CACHE_DIR, else no cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-simulate and overwrite the cached result")
+
+
+def _cache_begin(args) -> None:
+    """Install the result cache selected by the cache flags.
+
+    Unlike the campaign CLI (``repro.experiments``), single runs default
+    to *no* persistent cache unless ``--cache-dir`` or ``REPRO_CACHE_DIR``
+    says otherwise.
+    """
+    if getattr(args, "no_cache", False):
+        engine.configure(None)
+    elif getattr(args, "cache_dir", None):
+        engine.configure(args.cache_dir,
+                         refresh=getattr(args, "refresh", False))
+    elif getattr(args, "refresh", False):
+        env = os.environ.get("REPRO_CACHE_DIR")
+        if env:
+            engine.configure(env, refresh=True)
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -149,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
     _add_obs_flags(p)
+    _add_cache_flags(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("runmix", help="run a 4-app workload set")
@@ -161,6 +198,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
     _add_obs_flags(p)
+    _add_cache_flags(p)
     p.set_defaults(fn=_cmd_runmix)
 
     p = sub.add_parser("experiments",
@@ -170,10 +208,12 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     _obs_begin(args)
+    _cache_begin(args)
     try:
         return args.fn(args)
     finally:
         _obs_end(args)
+        engine.reset()
 
 
 if __name__ == "__main__":

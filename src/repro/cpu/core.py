@@ -91,6 +91,55 @@ class CoreResult:
             return 0.0
         return self.stall_by_obj.get(obj_id, 0) / n
 
+    def to_dict(self) -> dict:
+        """Lossless JSON-compatible form (cache/artefact round-trips).
+
+        The per-object maps keep integer keys in memory; JSON stringifies
+        them, and :meth:`from_dict` converts them back.
+        """
+        return {
+            "core_id": self.core_id,
+            "cycles": self.cycles,
+            "total_instructions": self.total_instructions,
+            "n_demand": self.n_demand,
+            "n_load_misses": self.n_load_misses,
+            "n_writebacks": self.n_writebacks,
+            "n_prefetches": self.n_prefetches,
+            "n_episodes": self.n_episodes,
+            "mem_access_cycles": self.mem_access_cycles,
+            "load_stall_cycles": self.load_stall_cycles,
+            "stall_by_obj": {str(k): v for k, v in self.stall_by_obj.items()},
+            "load_misses_by_obj": {str(k): v for k, v
+                                   in self.load_misses_by_obj.items()},
+            "demand_by_obj": {str(k): v for k, v
+                              in self.demand_by_obj.items()},
+            # derived, for human readers of the JSON; from_dict ignores it
+            "ipc": self.ipc,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreResult":
+        """Inverse of :meth:`to_dict` (tolerates JSON's string keys)."""
+        return cls(
+            core_id=data["core_id"],
+            cycles=data["cycles"],
+            total_instructions=data["total_instructions"],
+            n_demand=data["n_demand"],
+            n_load_misses=data["n_load_misses"],
+            n_writebacks=data["n_writebacks"],
+            n_prefetches=data["n_prefetches"],
+            n_episodes=data["n_episodes"],
+            mem_access_cycles=data["mem_access_cycles"],
+            load_stall_cycles=data["load_stall_cycles"],
+            stall_by_obj={int(k): v
+                          for k, v in data.get("stall_by_obj", {}).items()},
+            load_misses_by_obj={
+                int(k): v
+                for k, v in data.get("load_misses_by_obj", {}).items()},
+            demand_by_obj={
+                int(k): v for k, v in data.get("demand_by_obj", {}).items()},
+        )
+
 
 class InOrderWindowCore:
     """Steppable per-core replay state (multicore drivers interleave cores).

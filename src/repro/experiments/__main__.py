@@ -6,14 +6,23 @@ Usage::
     python -m repro.experiments table3 headline
     python -m repro.experiments all --fidelity tiny
     python -m repro.experiments fig08 --progress --trace out.json
+    python -m repro.experiments all --save results/ --cache-dir results/.cache
+
+Simulation results are cached on disk (default ``results/.cache``,
+override with ``--cache-dir`` or ``REPRO_CACHE_DIR``; ``--no-cache``
+disables, ``--refresh`` re-simulates and overwrites), so repeating a
+campaign reuses every run whose :class:`~repro.sim.spec.RunSpec` is
+unchanged.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from repro.experiments import engine
 from repro.experiments import runner as _runner
 from repro.obs import OBS, ProgressReporter, run_meta, write_chrome_trace, \
     write_jsonl
@@ -79,12 +88,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the structured JSONL event log to PATH")
     parser.add_argument("--progress", action="store_true",
                         help="narrate sweep/run completions on stderr")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or results/.cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-simulate every run and overwrite its "
+                             "cached result")
     args = parser.parse_args(argv)
 
     if args.trace or args.obs_dump or args.progress:
         OBS.enable()
         if args.progress:
             ProgressReporter().attach(OBS)
+
+    if args.no_cache:
+        engine.configure(None)
+    else:
+        engine.configure(args.cache_dir
+                         or os.environ.get("REPRO_CACHE_DIR")
+                         or engine.DEFAULT_CACHE_DIR,
+                         refresh=args.refresh)
 
     fidelity = _runner.FIDELITIES[args.fidelity]
     names: list[str] = []
@@ -95,30 +120,40 @@ def main(argv: list[str] | None = None) -> int:
             names.extend(EXTRAS_SET)
         else:
             names.append(token)
-    saved = []
-    for name in names:
-        t0 = time.time()
-        with OBS.span(f"experiment.{name}", fidelity=fidelity.name):
-            fig = EXPERIMENTS[name](fidelity)
-        print(fig.render_bars() if args.bars else fig.render())
-        print(f"[{name}: {time.time() - t0:.1f}s]")
-        print()
-        if args.save:
-            from repro.experiments.store import save_figure
-            save_figure(fig, args.save,
-                        meta=run_meta(fidelity=fidelity, experiment=name))
-            saved.append(fig.figure_id)
-    if args.save and saved:
-        from repro.experiments.store import write_manifest
-        write_manifest(args.save, fidelity, saved)
-        print(f"artefacts written to {args.save}/")
-    if args.trace:
-        path = write_chrome_trace(OBS, args.trace)
-        print(f"chrome trace written to {path}", file=sys.stderr)
-    if args.obs_dump:
-        path = write_jsonl(OBS, args.obs_dump)
-        print(f"obs event log written to {path}", file=sys.stderr)
-    return 0
+    try:
+        saved = []
+        for name in names:
+            t0 = time.time()
+            with OBS.span(f"experiment.{name}", fidelity=fidelity.name):
+                fig = EXPERIMENTS[name](fidelity)
+            print(fig.render_bars() if args.bars else fig.render())
+            print(f"[{name}: {time.time() - t0:.1f}s]")
+            print()
+            if args.save:
+                from repro.experiments.store import save_figure
+                save_figure(fig, args.save,
+                            meta=run_meta(fidelity=fidelity, experiment=name))
+                saved.append(fig.figure_id)
+        if args.save and saved:
+            from repro.experiments.store import write_manifest
+            write_manifest(args.save, fidelity, saved)
+            print(f"artefacts written to {args.save}/")
+        stats = engine.cache_stats()
+        if stats is not None and (stats["hits"] or stats["misses"]):
+            print(f"[result cache: {stats['hits']} hits, "
+                  f"{stats['misses']} misses, {stats['stores']} stored "
+                  f"({stats['directory']})]", file=sys.stderr)
+        if args.trace:
+            path = write_chrome_trace(OBS, args.trace)
+            print(f"chrome trace written to {path}", file=sys.stderr)
+        if args.obs_dump:
+            path = write_jsonl(OBS, args.obs_dump)
+            print(f"obs event log written to {path}", file=sys.stderr)
+        return 0
+    finally:
+        # Embedded invocations (tests) must not leak this command's cache
+        # configuration into later library use in the same process.
+        engine.reset()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,169 @@
+"""Persistent content-addressed result cache for simulation runs.
+
+One entry per :class:`~repro.sim.spec.RunSpec`, stored as
+``<directory>/<sha256-of-canonical-spec>.json`` with the
+:class:`~repro.sim.metrics.RunMetrics` round-tripped through
+``to_dict``/``from_dict``.  The key covers everything that determines the
+numbers (workload, config *hash*, policy, trace length, input,
+thresholds, seed), so a cache directory can be shared between processes,
+sweeps, and repeated campaign invocations: online/offline hybrid systems
+for heterogeneous memory amortize profiling across executions the same
+way, by persisting guidance keyed by provenance.
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``), so a concurrent reader
+  never sees a half-written entry;
+* a corrupt entry (truncated JSON, missing fields) warns once via
+  :meth:`OBS.warn`, is deleted, and falls back to re-simulation;
+* entries written by a different cache format version are dropped
+  silently (stale, not corrupt);
+* the simulator's own version is recorded in each entry for forensics
+  but is deliberately **not** part of the key — bump
+  ``repro.__version__`` or pass ``--refresh`` after changing model code.
+
+Hits/misses/stores/evictions flow through ``OBS`` counters
+(``cache.hit``, ``cache.miss``, ...), and :class:`CacheStats` aggregates
+them per cache instance for the sweep manifest's hit ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.registry import OBS
+from repro.sim.metrics import RunMetrics
+from repro.sim.spec import RunSpec
+
+__all__ = ["CACHE_VERSION", "CacheStats", "ResultCache"]
+
+#: On-disk entry format; entries from other versions are ignored.
+CACHE_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Per-instance tallies; ``hit_ratio`` feeds the sweep manifest."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    evicted: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "evicted": self.evicted,
+            "hit_ratio": round(self.hit_ratio, 6),
+        }
+
+
+class ResultCache:
+    """Content-addressed ``RunSpec -> RunMetrics`` store on disk.
+
+    Args:
+        directory: Cache root; created lazily on the first store so a
+            cache that is never written leaves no trace on disk.
+        refresh: When true, :meth:`get` always misses (forcing
+            re-simulation) while :meth:`put` still overwrites — the
+            ``--refresh`` CLI semantics.
+        max_entries: Optional size bound; storing beyond it evicts the
+            oldest entries (by mtime, i.e. least-recently-written).
+    """
+
+    def __init__(self, directory: str | Path, *, refresh: bool = False,
+                 max_entries: int | None = None):
+        self.directory = Path(directory)
+        self.refresh = refresh
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.directory / f"{spec.key()}.json"
+
+    # ---- read --------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> RunMetrics | None:
+        """Cached metrics for ``spec``, or ``None`` (= simulate)."""
+        path = self.path_for(spec)
+        if self.refresh:
+            self._miss(refresh=True)
+            return None
+        try:
+            raw = path.read_text()
+        except (FileNotFoundError, OSError):
+            self._miss()
+            return None
+        try:
+            doc = json.loads(raw)
+            if doc.get("version") != CACHE_VERSION:
+                # A different (older/newer) format is expected after an
+                # upgrade — drop it quietly and re-simulate.
+                path.unlink(missing_ok=True)
+                OBS.add("cache.stale")
+                self._miss()
+                return None
+            metrics = RunMetrics.from_dict(doc["metrics"])
+        except (ValueError, KeyError, TypeError) as exc:
+            OBS.warn(f"result cache: corrupt entry {path.name} "
+                     f"({type(exc).__name__}: {exc}); re-simulating")
+            OBS.add("cache.corrupt")
+            self.stats.corrupt += 1
+            path.unlink(missing_ok=True)
+            self._miss()
+            return None
+        self.stats.hits += 1
+        OBS.add("cache.hit")
+        return metrics
+
+    def _miss(self, refresh: bool = False) -> None:
+        self.stats.misses += 1
+        OBS.add("cache.refresh_bypass" if refresh else "cache.miss")
+
+    # ---- write -------------------------------------------------------------
+
+    def put(self, spec: RunSpec, metrics: RunMetrics) -> Path:
+        """Store one result atomically; returns the entry path."""
+        from repro import __version__
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        doc = {
+            "version": CACHE_VERSION,
+            "repro_version": __version__,
+            "spec": spec.canonical(),
+            "metrics": metrics.to_dict(),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(doc, indent=1))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        OBS.add("cache.store")
+        if self.max_entries is not None:
+            self._evict_over(self.max_entries)
+        return path
+
+    def _evict_over(self, limit: int) -> None:
+        entries = sorted(self.directory.glob("*.json"),
+                         key=lambda p: p.stat().st_mtime)
+        for victim in entries[:max(0, len(entries) - limit)]:
+            victim.unlink(missing_ok=True)
+            self.stats.evicted += 1
+            OBS.add("cache.evict")
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,208 @@
+"""Run-granularity sweep scheduler backed by the persistent result cache.
+
+The engine turns a list of :class:`~repro.sim.spec.RunSpec` units into
+:class:`~repro.sim.metrics.RunMetrics`, in order, by:
+
+1. consulting the active :class:`~repro.experiments.cache.ResultCache`
+   (if any) for each spec — a hit costs one JSON read instead of a
+   simulation;
+2. scheduling the misses across a ``ProcessPoolExecutor`` at **run
+   granularity**: 6 systems x N workloads saturate ``REPRO_WORKERS``
+   workers even when there are more workers than workloads (the old
+   scheduler shipped one whole per-workload row per worker, capping
+   parallelism at the row count and leaving stragglers at the tail);
+3. storing every fresh result back into the cache, so an interrupted
+   sweep resumes where it stopped and a repeated campaign after a no-op
+   change is near-instant.
+
+Units are chunked in workload order before fan-out, so each worker still
+handles contiguous specs of mostly the same workload and its memoized
+cache-filter (``repro.sim.single.filtered_stream``) stays warm.
+
+Cache selection, in priority order: an explicit :func:`configure` call
+(the CLIs' ``--cache-dir``/``--no-cache``/``--refresh`` flags), else the
+``REPRO_CACHE_DIR`` environment variable, else no persistent cache.
+Per-phase wall times are accumulated in :func:`sweep_seconds` and land in
+the campaign manifest next to the cache hit ratio.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.cache import ResultCache
+from repro.obs.registry import OBS
+from repro.sim.metrics import RunMetrics
+from repro.sim.spec import RunSpec, run
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "active_cache",
+    "cache_stats",
+    "configure",
+    "execute",
+    "reset",
+    "run_cached",
+    "sweep_seconds",
+    "sweep_workers",
+]
+
+#: Where the experiment CLIs cache results unless told otherwise.
+DEFAULT_CACHE_DIR = Path("results") / ".cache"
+
+_UNSET = object()
+#: Explicit configuration: a ResultCache, None (= caching disabled), or
+#: _UNSET (= fall back to the REPRO_CACHE_DIR environment variable).
+_cache_override: object = _UNSET
+_env_cache: ResultCache | None = None
+_sweep_seconds: dict[str, float] = {}
+
+
+def sweep_workers() -> int:
+    """Worker processes for sweeps (``REPRO_WORKERS`` env, default 1)."""
+    raw = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        OBS.warn(f"REPRO_WORKERS={raw!r} is not an integer; "
+                 f"defaulting to 1 worker")
+        return 1
+
+
+# ---- cache wiring ----------------------------------------------------------
+
+
+def configure(directory: str | Path | None, *, refresh: bool = False,
+              max_entries: int | None = None) -> ResultCache | None:
+    """Select the process-wide result cache.
+
+    ``directory=None`` disables persistent caching entirely (the
+    ``--no-cache`` semantics); otherwise a fresh :class:`ResultCache`
+    (with fresh stats) is installed.  Returns the active cache.
+    """
+    global _cache_override
+    if directory is None:
+        _cache_override = None
+    else:
+        _cache_override = ResultCache(directory, refresh=refresh,
+                                      max_entries=max_entries)
+    return _cache_override
+
+
+def reset() -> None:
+    """Drop explicit configuration and phase timings.
+
+    The next :func:`active_cache` call falls back to ``REPRO_CACHE_DIR``
+    (or no cache).  The CLIs call this on exit so embedded invocations
+    (tests, notebooks) don't leak one command's cache into the next.
+    """
+    global _cache_override
+    _cache_override = _UNSET
+    _sweep_seconds.clear()
+
+
+def active_cache() -> ResultCache | None:
+    """The cache the engine will consult, or ``None``."""
+    global _env_cache
+    if _cache_override is not _UNSET:
+        return _cache_override  # type: ignore[return-value]
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if not env:
+        return None
+    if _env_cache is None or Path(env) != _env_cache.directory:
+        _env_cache = ResultCache(env)
+    return _env_cache
+
+
+def cache_stats() -> dict | None:
+    """Manifest-ready stats of the active cache (``None`` = no cache)."""
+    cache = active_cache()
+    if cache is None:
+        return None
+    return {"directory": str(cache.directory), **cache.stats.to_dict()}
+
+
+def sweep_seconds() -> dict[str, float]:
+    """Wall time per engine phase (e.g. ``sweep.single``) this process."""
+    return dict(_sweep_seconds)
+
+
+# ---- execution -------------------------------------------------------------
+
+
+def _execute_spec(spec: RunSpec) -> RunMetrics:
+    """Top-level (picklable) worker entry: simulate one run unit."""
+    return run(spec)
+
+
+def _effective_workers(n_units: int) -> int:
+    """Fan-out actually used: requested workers, capped by CPUs and work.
+
+    Worker processes cannot share the in-process memoization
+    (``filtered_stream``, profiling), so oversubscribing the machine
+    only duplicates that work — ``REPRO_WORKERS=4`` on a single-CPU box
+    must degrade to the (faster) serial path, not slow the sweep down.
+    """
+    workers = sweep_workers()
+    cpus = os.cpu_count() or 1
+    if workers > cpus:
+        OBS.warn(f"REPRO_WORKERS={workers} exceeds the {cpus} available "
+                 f"CPU(s); capping at {cpus}")
+    return max(1, min(workers, cpus, n_units))
+
+
+def execute(specs: Sequence[RunSpec], *,
+            phase: str | None = None) -> list[RunMetrics]:
+    """Resolve every spec, via cache or simulation; preserves order.
+
+    Args:
+        phase: Label under which the call's wall time is accumulated
+            (shows up in the campaign manifest's ``sweep_seconds``).
+    """
+    t0 = time.perf_counter()
+    cache = active_cache()
+    results: list[RunMetrics | None] = [None] * len(specs)
+    missing: list[int] = []
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            missing.append(i)
+
+    if missing:
+        todo = [specs[i] for i in missing]
+        workers = _effective_workers(len(todo))
+        if workers > 1:
+            # Chunked map: small enough chunks to load-balance across
+            # workers, big enough that consecutive same-workload specs
+            # stay in one process (warm filtered_stream memoization).
+            chunk = max(1, -(-len(todo) // (workers * 4)))
+            with ProcessPoolExecutor(max_workers=workers) as ex:
+                computed = list(ex.map(_execute_spec, todo, chunksize=chunk))
+            OBS.add("sweep.runs_done", len(computed))
+        else:
+            computed = []
+            for spec in todo:
+                with OBS.span(f"sweep.unit.{spec.workload}.{spec.policy}",
+                              system=spec.config):
+                    computed.append(run(spec))
+                OBS.add("sweep.runs_done")
+        for i, metrics in zip(missing, computed):
+            results[i] = metrics
+            if cache is not None:
+                cache.put(specs[i], metrics)
+
+    if phase is not None:
+        _sweep_seconds[phase] = (_sweep_seconds.get(phase, 0.0)
+                                 + time.perf_counter() - t0)
+    return results  # type: ignore[return-value]
+
+
+def run_cached(spec: RunSpec) -> RunMetrics:
+    """One run through the cache — the single-run CLI's entry point."""
+    return execute([spec])[0]

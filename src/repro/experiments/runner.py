@@ -4,15 +4,19 @@ and a small table-rendering result type.
 A *sweep* runs every (workload, memory system, policy) combination a
 figure family needs and is memoized per fidelity, so e.g. Figs. 10–13
 (which all read the same multicore runs) cost one simulation pass.
+Sweeps decompose into individual :class:`~repro.sim.spec.RunSpec` units
+and go through :mod:`repro.experiments.engine`, which schedules them at
+run granularity across ``REPRO_WORKERS`` processes and consults the
+persistent result cache before simulating anything.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.experiments import engine
+from repro.experiments.engine import sweep_workers  # noqa: F401  (re-export)
 from repro.obs.registry import OBS
 from repro.sim.config import (
     HETER_CONFIG1,
@@ -25,8 +29,7 @@ from repro.sim.config import (
     SystemConfig,
 )
 from repro.sim.metrics import RunMetrics
-from repro.sim.multi import run_multi
-from repro.sim.single import run_single
+from repro.sim.spec import RunSpec
 from repro.workloads.mixes import MIX_NAMES
 from repro.workloads.spec import APPS
 
@@ -76,62 +79,15 @@ SWEEP_MIXES = ("3L1B", "1L3B", "3L1N", "2L1B1N", "2B2N")
 APP_ORDER = tuple(APPS)
 
 
-def sweep_workers() -> int:
-    """Worker processes for sweeps (``REPRO_WORKERS`` env, default 1).
+def _run_pairs(pairs: list[tuple[tuple, RunSpec]], phase: str) -> dict:
+    """Resolve keyed specs through the engine; keys stay in order.
 
-    Sweeps are embarrassingly parallel across workloads; each worker
-    handles one workload's full system row so its per-process profiling
-    and cache-filter caches stay warm.
+    Pairs are built workload-major, so the engine's chunked fan-out
+    keeps same-workload units (which share memoized cache filtering)
+    mostly within one worker process.
     """
-    raw = os.environ.get("REPRO_WORKERS", "1")
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        OBS.warn(f"REPRO_WORKERS={raw!r} is not an integer; "
-                 f"defaulting to 1 worker")
-        return 1
-
-
-def _single_row(args: tuple[str, Fidelity]) -> list[tuple[tuple[str, str], RunMetrics]]:
-    app, fidelity = args
-    return [((app, label),
-             run_single(app, config, policy, n_accesses=fidelity.n_single))
-            for label, config, policy in SINGLE_SYSTEMS]
-
-
-def _multi_row(args: tuple[str, Fidelity]) -> list[tuple[tuple[str, str], RunMetrics]]:
-    mix_name, fidelity = args
-    return [((mix_name, label),
-             run_multi(mix_name, config, policy,
-                       n_accesses=fidelity.n_multi))
-            for label, config, policy in MULTI_SYSTEMS]
-
-
-def _config_row(args: tuple[str, Fidelity]
-                ) -> list[tuple[tuple[str, str, str], RunMetrics]]:
-    mix_name, fidelity = args
-    return [((config.name, mix_name, policy),
-             run_multi(mix_name, config, policy,
-                       n_accesses=fidelity.n_multi))
-            for config in SWEEP_CONFIGS
-            for policy in ("heter-app", "moca")]
-
-
-def _run_rows(row_fn, keys, fidelity):
-    args = [(k, fidelity) for k in keys]
-    workers = sweep_workers()
-    if workers > 1 and len(args) > 1:
-        # Worker processes carry their own (disabled) obs registries;
-        # only the parent's sweep span survives in the trace.
-        with ProcessPoolExecutor(max_workers=min(workers, len(args))) as ex:
-            rows = list(ex.map(row_fn, args))
-    else:
-        rows = []
-        for a in args:
-            with OBS.span(f"sweep.row.{a[0]}"):
-                rows.append(row_fn(a))
-            OBS.add("sweep.rows_done")
-    return {k: m for row in rows for k, m in row}
+    metrics = engine.execute([spec for _, spec in pairs], phase=phase)
+    return {key: m for (key, _), m in zip(pairs, metrics)}
 
 
 @lru_cache(maxsize=8)
@@ -139,7 +95,14 @@ def single_sweep(fidelity: Fidelity = DEFAULT
                  ) -> dict[tuple[str, str], RunMetrics]:
     """All (application, system) single-core runs → metrics."""
     with OBS.span("sweep.single", fidelity=fidelity.name):
-        return _run_rows(_single_row, APP_ORDER, fidelity)
+        pairs = [
+            ((app, label),
+             RunSpec(workload=app, config=config.name, policy=policy,
+                     n_accesses=fidelity.n_single))
+            for app in APP_ORDER
+            for label, config, policy in SINGLE_SYSTEMS
+        ]
+        return _run_pairs(pairs, "sweep.single")
 
 
 @lru_cache(maxsize=8)
@@ -147,7 +110,14 @@ def multi_sweep(fidelity: Fidelity = DEFAULT
                 ) -> dict[tuple[str, str], RunMetrics]:
     """All (workload set, system) 4-core runs → metrics."""
     with OBS.span("sweep.multi", fidelity=fidelity.name):
-        return _run_rows(_multi_row, MIX_NAMES, fidelity)
+        pairs = [
+            ((mix_name, label),
+             RunSpec(workload=mix_name, config=config.name, policy=policy,
+                     n_accesses=fidelity.n_multi))
+            for mix_name in MIX_NAMES
+            for label, config, policy in MULTI_SYSTEMS
+        ]
+        return _run_pairs(pairs, "sweep.multi")
 
 
 @lru_cache(maxsize=8)
@@ -155,7 +125,15 @@ def config_sweep(fidelity: Fidelity = DEFAULT
                  ) -> dict[tuple[str, str, str], RunMetrics]:
     """(config, workload set, policy) runs for Figs. 14–15."""
     with OBS.span("sweep.config", fidelity=fidelity.name):
-        return _run_rows(_config_row, SWEEP_MIXES, fidelity)
+        pairs = [
+            ((config.name, mix_name, policy),
+             RunSpec(workload=mix_name, config=config.name, policy=policy,
+                     n_accesses=fidelity.n_multi))
+            for mix_name in SWEEP_MIXES
+            for config in SWEEP_CONFIGS
+            for policy in ("heter-app", "moca")
+        ]
+        return _run_pairs(pairs, "sweep.config")
 
 
 @dataclass

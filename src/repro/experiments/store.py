@@ -39,18 +39,36 @@ def save_figure(fig: FigureResult, directory: str | Path,
 
 
 def load_figure(path: str | Path) -> FigureResult:
-    """Read a figure artefact written by :func:`save_figure`."""
-    doc = json.loads(Path(path).read_text())
+    """Read a figure artefact written by :func:`save_figure`.
+
+    Malformed documents (e.g. a hand-edited row whose cell count no
+    longer matches ``columns``) raise ``ValueError`` naming the file, so
+    a broken artefact in a results directory is identifiable without a
+    debugger.
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text())
     if doc.get("version") != FORMAT_VERSION:
         raise ValueError(
-            f"unsupported figure artefact version {doc.get('version')!r}")
-    return FigureResult.from_dict(doc)
+            f"{path}: unsupported figure artefact version "
+            f"{doc.get('version')!r}")
+    try:
+        return FigureResult.from_dict(doc)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ValueError(f"{path}: invalid figure artefact: {exc}") from exc
 
 
 def write_manifest(directory: str | Path, fidelity: Fidelity,
                    figure_ids: list[str]) -> Path:
-    """Record campaign provenance next to the artefacts."""
+    """Record campaign provenance next to the artefacts.
+
+    Besides versions/seed/fidelity this captures the sweep engine's
+    per-phase wall times and — when a persistent result cache is active —
+    its hit/miss/store tallies and hit ratio, so a warm campaign is
+    distinguishable from a cold one after the fact.
+    """
     import repro
+    from repro.experiments import engine
     from repro.obs.registry import OBS
     from repro.util.rng import ROOT_SEED
 
@@ -68,6 +86,12 @@ def write_manifest(directory: str | Path, fidelity: Fidelity,
                      "n_multi": fidelity.n_multi},
         "figures": sorted(figure_ids),
     }
+    cache = engine.cache_stats()
+    if cache is not None:
+        doc["cache"] = cache
+    sweeps = engine.sweep_seconds()
+    if sweeps:
+        doc["sweep_seconds"] = {k: round(v, 6) for k, v in sweeps.items()}
     if OBS.enabled:
         doc["phase_seconds"] = {k: round(v, 6)
                                 for k, v in OBS.phase_seconds().items()}

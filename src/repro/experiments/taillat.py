@@ -10,16 +10,16 @@ on slower modules whenever RLDRAM filled up first.
 
 from __future__ import annotations
 
+from repro.experiments import engine
 from repro.experiments.runner import DEFAULT, Fidelity, FigureResult
-from repro.sim.config import HETER_CONFIG1, HOMOGEN_DDR3, HOMOGEN_RL
-from repro.sim.single import run_single
+from repro.sim.spec import RunSpec
 
 APPS = ("mcf", "disparity", "gcc", "lbm")
 SYSTEMS = (
-    ("DDR3", HOMOGEN_DDR3, "homogen"),
-    ("RL", HOMOGEN_RL, "homogen"),
-    ("Heter-App", HETER_CONFIG1, "heter-app"),
-    ("MOCA", HETER_CONFIG1, "moca"),
+    ("DDR3", "Homogen-DDR3", "homogen"),
+    ("RL", "Homogen-RL", "homogen"),
+    ("Heter-App", "Heter-config1", "heter-app"),
+    ("MOCA", "Heter-config1", "moca"),
 )
 
 
@@ -31,10 +31,11 @@ def compute(fidelity: Fidelity = DEFAULT) -> FigureResult:
                            for p in ("p50", "p99")],
     )
     for app in APPS:
+        specs = [RunSpec(workload=app, config=config, policy=policy,
+                         n_accesses=fidelity.n_single)
+                 for _, config, policy in SYSTEMS]
         cells = []
-        for label, config, policy in SYSTEMS:
-            m = run_single(app, config, policy,
-                           n_accesses=fidelity.n_single)
+        for m in engine.execute(specs, phase="sweep.taillat"):
             cells.extend([m.latency_p50, m.latency_p99])
         fig.add_row(app, *cells)
     fig.notes.append(

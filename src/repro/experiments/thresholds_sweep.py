@@ -9,10 +9,10 @@ the sensitivity analysis the paper describes but does not plot.
 
 from __future__ import annotations
 
+from repro.experiments import engine
 from repro.experiments.runner import DEFAULT, Fidelity, FigureResult, geomean
 from repro.moca.classify import Thresholds
-from repro.sim.config import HETER_CONFIG1
-from repro.sim.single import run_single
+from repro.sim.spec import RunSpec
 
 APPS = ("mcf", "disparity", "lbm", "gcc")
 LAT_GRID = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
@@ -29,12 +29,12 @@ def compute(fidelity: Fidelity = DEFAULT) -> FigureResult:
     )
 
     def score(thr: Thresholds) -> float:
-        return geomean([
-            run_single(app, HETER_CONFIG1, "moca",
-                       n_accesses=fidelity.n_single,
-                       thresholds=thr).memory_edp
-            for app in APPS
-        ])
+        specs = [RunSpec(workload=app, config="Heter-config1", policy="moca",
+                         n_accesses=fidelity.n_single, thresholds=thr)
+                 for app in APPS]
+        return geomean([m.memory_edp
+                        for m in engine.execute(specs,
+                                                phase="sweep.thresholds")])
 
     base = score(Thresholds(1.0, 20.0))
     for lat in LAT_GRID:

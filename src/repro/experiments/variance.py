@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import math
 
+from repro.experiments import engine
 from repro.experiments.runner import DEFAULT, Fidelity, FigureResult
-from repro.sim.config import HETER_CONFIG1
-from repro.sim.single import run_single
+from repro.sim.spec import RunSpec
 
 APPS = ("mcf", "disparity", "lbm", "gcc")
 
@@ -34,12 +34,11 @@ def compute(fidelity: Fidelity = DEFAULT, n_variants: int = 3) -> FigureResult:
     for app in APPS:
         ratios = []
         for variant in variants:
-            moca = run_single(app, HETER_CONFIG1, "moca",
-                              input_name=variant,
-                              n_accesses=fidelity.n_single)
-            het = run_single(app, HETER_CONFIG1, "heter-app",
-                             input_name=variant,
-                             n_accesses=fidelity.n_single)
+            moca, het = engine.execute(
+                [RunSpec(workload=app, config="Heter-config1", policy=pol,
+                         n_accesses=fidelity.n_single, input_name=variant)
+                 for pol in ("moca", "heter-app")],
+                phase="sweep.variance")
             ratios.append(moca.mem_access_cycles / het.mem_access_cycles)
         mean = sum(ratios) / len(ratios)
         var = sum((r - mean) ** 2 for r in ratios) / (len(ratios) - 1)

@@ -41,8 +41,7 @@ def search_thresholds(
     # Imported lazily: repro.sim imports repro.moca, so a module-level
     # import here would be circular.
     from repro.experiments.runner import geomean
-    from repro.sim.config import HETER_CONFIG1
-    from repro.sim.single import run_single
+    from repro.sim.spec import RunSpec, run
 
     results: list[ThresholdScore] = []
     baselines: dict[str, float] = {}
@@ -52,9 +51,9 @@ def search_thresholds(
             edps = []
             times = []
             for app in apps:
-                m = run_single(app, HETER_CONFIG1, "moca",
-                               n_accesses=n_accesses,
-                               thresholds=thresholds)
+                m = run(RunSpec(workload=app, config="Heter-config1",
+                                policy="moca", n_accesses=n_accesses,
+                                thresholds=thresholds))
                 base = baselines.setdefault(app, m.memory_edp or 1.0)
                 edps.append(m.memory_edp / base)
                 times.append(float(m.mem_access_cycles))

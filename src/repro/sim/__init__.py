@@ -5,8 +5,14 @@
   reproduction's 1:8 capacity scale;
 * :mod:`repro.sim.metrics` — memory access time, memory/system power,
   EDP definitions (paper Sec. VI-A);
+* :mod:`repro.sim.spec` — :class:`RunSpec` (the canonical identity of a
+  run: API surface, scheduling unit, cache key) and the :func:`run`
+  facade;
 * :mod:`repro.sim.single` — single-core runs (Figs. 8–9);
 * :mod:`repro.sim.multi` — 4-core multi-programmed runs (Figs. 10–15).
+
+:func:`run_single` and :func:`run_multi` remain as deprecated aliases of
+``run(RunSpec(...))``.
 """
 
 from repro.sim.config import (
@@ -24,11 +30,15 @@ from repro.sim.config import (
     HETERO_POLICIES,
 )
 from repro.sim.metrics import RunMetrics
+from repro.sim.spec import POLICIES, RunSpec, run
 from repro.sim.single import run_single, filtered_stream
 from repro.sim.multi import run_multi
 from repro.sim.migration import run_single_migration
 
 __all__ = [
+    "POLICIES",
+    "RunSpec",
+    "run",
     "CAPACITY_SCALE",
     "GroupSpec",
     "SystemConfig",

@@ -97,7 +97,14 @@ class RunMetrics:
                 if self.n_load_misses else 0.0)
 
     def to_dict(self) -> dict:
-        """JSON-compatible summary (per-core results reduced to basics)."""
+        """Lossless JSON-compatible form.
+
+        Contains every stored field (so :meth:`from_dict` reconstructs an
+        equal instance — this is what the persistent result cache
+        round-trips) plus the derived headline numbers (``memory_edp``,
+        ``system_edp``, ``ipc``, ``stall_per_load_miss``) for human
+        readers of the JSON; ``from_dict`` ignores the derived keys.
+        """
         return {
             "system": self.system,
             "policy": self.policy,
@@ -107,23 +114,47 @@ class RunMetrics:
             "mem_access_cycles": self.mem_access_cycles,
             "mem_power_w": self.mem_power_w,
             "mem_energy_j": self.mem_energy_j,
+            "total_instructions": self.total_instructions,
             "memory_edp": self.memory_edp,
             "system_edp": self.system_edp,
             "ipc": self.ipc,
             "row_hit_rate": self.row_hit_rate,
             "n_requests": self.n_requests,
+            "load_stall_cycles": self.load_stall_cycles,
+            "n_load_misses": self.n_load_misses,
             "stall_per_load_miss": self.stall_per_load_miss,
             "latency_p50": self.latency_p50,
             "latency_p95": self.latency_p95,
             "latency_p99": self.latency_p99,
-            "per_core": [
-                {"core": r.core_id, "cycles": r.cycles, "ipc": r.ipc,
-                 "load_misses": r.n_load_misses,
-                 "stall_per_load_miss": r.stall_per_load_miss}
-                for r in self.per_core
-            ],
+            "per_core": [r.to_dict() for r in self.per_core],
             "meta": dict(self.meta),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunMetrics":
+        """Inverse of :meth:`to_dict`; derived keys are recomputed, not
+        read, so a hand-edited artefact cannot disagree with itself."""
+        return cls(
+            system=data["system"],
+            policy=data["policy"],
+            workload=data["workload"],
+            n_cores=data["n_cores"],
+            exec_cycles=data["exec_cycles"],
+            mem_access_cycles=data["mem_access_cycles"],
+            mem_power_w=data["mem_power_w"],
+            mem_energy_j=data["mem_energy_j"],
+            total_instructions=data["total_instructions"],
+            n_requests=data["n_requests"],
+            row_hit_rate=data["row_hit_rate"],
+            load_stall_cycles=data.get("load_stall_cycles", 0),
+            n_load_misses=data.get("n_load_misses", 0),
+            latency_p50=data.get("latency_p50", 0),
+            latency_p95=data.get("latency_p95", 0),
+            latency_p99=data.get("latency_p99", 0),
+            per_core=tuple(CoreResult.from_dict(d)
+                           for d in data.get("per_core", ())),
+            meta=dict(data.get("meta", {})),
+        )
 
 
 def weighted_speedup(shared: RunMetrics, alone: list[RunMetrics]) -> float:

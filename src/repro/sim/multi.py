@@ -10,6 +10,7 @@ separates the memory systems in the paper's multicore figures.
 from __future__ import annotations
 
 import heapq
+import warnings
 
 from repro.cpu.core import CoreParams, InOrderWindowCore
 from repro.moca.classify import Thresholds
@@ -23,13 +24,16 @@ from repro.workloads.inputs import REF, build_app_trace
 from repro.workloads.mixes import WorkloadMix, mix as make_mix
 
 
-def run_multi(workload: WorkloadMix | str, config: SystemConfig,
-              policy_name: str, input_name: str = REF,
-              n_accesses: int = 60_000,
-              thresholds: Thresholds | None = None,
-              profile_accesses: int | None = None,
-              core_params: CoreParams | None = None) -> RunMetrics:
+def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
+               policy_name: str, *, input_name: str = REF,
+               n_accesses: int = 60_000,
+               thresholds: Thresholds | None = None,
+               profile_accesses: int | None = None,
+               core_params: CoreParams | None = None) -> RunMetrics:
     """Run a 4-app workload set on a fresh instance of ``config``.
+
+    Internal driver behind :func:`repro.sim.run`; the deprecated
+    :func:`run_multi` alias forwards here.
 
     Args:
         workload: A :class:`WorkloadMix` or its name (e.g. ``"2L1B1N"``).
@@ -47,8 +51,9 @@ def run_multi(workload: WorkloadMix | str, config: SystemConfig,
             memsys = config.build()
             allocator = config.make_allocator(memsys)
             policy = make_policy(policy_name, list(workload.apps),
-                                 input_name, n_accesses, thresholds,
-                                 profile_accesses)
+                                 input_name, n_accesses,
+                                 thresholds=thresholds,
+                                 profile_accesses=profile_accesses)
             plan = plan_placement(streams, policy, allocator,
                                   layouts=layouts)
         cores = [
@@ -76,3 +81,21 @@ def run_multi(workload: WorkloadMix | str, config: SystemConfig,
                         workload=workload.name, thresholds=thresholds)
         return collect_metrics(config.name, policy_name, workload.name,
                                results, memsys, meta=meta)
+
+
+def run_multi(workload: WorkloadMix | str, config: SystemConfig,
+              policy_name: str, *, input_name: str = REF,
+              n_accesses: int = 60_000,
+              thresholds: Thresholds | None = None,
+              profile_accesses: int | None = None,
+              core_params: CoreParams | None = None) -> RunMetrics:
+    """Deprecated alias — build a :class:`repro.sim.RunSpec` and call
+    :func:`repro.sim.run` instead."""
+    warnings.warn(
+        "run_multi() is deprecated; use repro.sim.run(RunSpec(...))",
+        DeprecationWarning, stacklevel=2)
+    return _run_multi(workload, config, policy_name,
+                      input_name=input_name, n_accesses=n_accesses,
+                      thresholds=thresholds,
+                      profile_accesses=profile_accesses,
+                      core_params=core_params)

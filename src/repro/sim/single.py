@@ -8,6 +8,7 @@ pass runs once.
 
 from __future__ import annotations
 
+import warnings
 from functools import lru_cache
 
 from repro.cpu.core import CoreParams, InOrderWindowCore
@@ -49,7 +50,7 @@ def filtered_stream(app_name: str, input_name: str,
 
 
 def make_policy(policy_name: str, app_names: list[str],
-                input_name: str, n_accesses: int,
+                input_name: str, n_accesses: int, *,
                 thresholds: Thresholds | None = None,
                 profile_accesses: int | None = None) -> PlacementPolicy:
     """Construct a placement policy for the given per-core applications.
@@ -81,12 +82,16 @@ def make_policy(policy_name: str, app_names: list[str],
     raise ValueError(f"unknown policy {policy_name!r}")
 
 
-def run_single(app_name: str, config: SystemConfig, policy_name: str,
-               input_name: str = REF, n_accesses: int = 120_000,
-               thresholds: Thresholds | None = None,
-               profile_accesses: int | None = None,
-               core_params: CoreParams | None = None) -> RunMetrics:
-    """Run one application on a fresh instance of ``config``."""
+def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
+                input_name: str = REF, n_accesses: int = 120_000,
+                thresholds: Thresholds | None = None,
+                profile_accesses: int | None = None,
+                core_params: CoreParams | None = None) -> RunMetrics:
+    """Run one application on a fresh instance of ``config``.
+
+    Internal driver behind :func:`repro.sim.run`; the deprecated
+    :func:`run_single` alias forwards here.
+    """
     with OBS.span(f"run.{app_name}.{policy_name}", system=config.name):
         stream, _ = filtered_stream(app_name, input_name, n_accesses)
         layout = build_app_trace(app_name, input_name, n_accesses).layout
@@ -94,7 +99,8 @@ def run_single(app_name: str, config: SystemConfig, policy_name: str,
             memsys = config.build()
             allocator = config.make_allocator(memsys)
             policy = make_policy(policy_name, [app_name], input_name,
-                                 n_accesses, thresholds, profile_accesses)
+                                 n_accesses, thresholds=thresholds,
+                                 profile_accesses=profile_accesses)
             plan = plan_placement([stream], policy, allocator,
                                   layouts=[layout])
         with OBS.span("core_replay", app=app_name):
@@ -105,3 +111,21 @@ def run_single(app_name: str, config: SystemConfig, policy_name: str,
                         workload=app_name, thresholds=thresholds)
         return collect_metrics(config.name, policy_name, app_name,
                                [result], memsys, meta=meta)
+
+
+def run_single(app_name: str, config: SystemConfig, policy_name: str, *,
+               input_name: str = REF, n_accesses: int = 120_000,
+               thresholds: Thresholds | None = None,
+               profile_accesses: int | None = None,
+               core_params: CoreParams | None = None) -> RunMetrics:
+    """Deprecated alias — build a :class:`repro.sim.RunSpec` and call
+    :func:`repro.sim.run` instead (the spec is also the engine's
+    scheduling unit and the persistent cache key)."""
+    warnings.warn(
+        "run_single() is deprecated; use repro.sim.run(RunSpec(...))",
+        DeprecationWarning, stacklevel=2)
+    return _run_single(app_name, config, policy_name,
+                       input_name=input_name, n_accesses=n_accesses,
+                       thresholds=thresholds,
+                       profile_accesses=profile_accesses,
+                       core_params=core_params)

@@ -1,0 +1,165 @@
+"""RunSpec: the canonical identity of one simulation run, and ``run()``.
+
+A :class:`RunSpec` names everything that determines a run's numbers —
+workload, system configuration, placement policy, trace length, input,
+classification thresholds, and the root seed.  It is frozen and hashable,
+so it serves three roles at once:
+
+* the **public API**: ``repro.sim.run(spec)`` is the single entry point
+  for both single-core and multicore runs (``run_single``/``run_multi``
+  remain as deprecated aliases);
+* the **scheduling unit** of the sweep engine
+  (:mod:`repro.experiments.engine`), which fans individual specs out
+  across worker processes instead of whole per-workload rows;
+* the **cache key** of the persistent result cache
+  (:mod:`repro.experiments.cache`): :meth:`RunSpec.key` is the SHA-256 of
+  the canonical JSON form, so two processes that build the same spec
+  address the same on-disk entry.
+
+Whether a spec is single- or multicore is derived from the workload name:
+application names (``"mcf"``) run one core, mix names (``"2L1B1N"``) run
+one core per application in the mix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.moca.classify import Thresholds
+from repro.sim.config import ALL_SYSTEMS, SystemConfig
+from repro.sim.metrics import RunMetrics
+from repro.util.rng import ROOT_SEED
+from repro.workloads.inputs import REF, is_valid_input
+from repro.workloads.mixes import parse_mix_name
+from repro.workloads.spec import APPS
+
+__all__ = ["POLICIES", "RunSpec", "run"]
+
+#: Placement policies understood by :func:`repro.sim.single.make_policy`.
+POLICIES = ("homogen", "heter-app", "moca")
+
+#: Bumped whenever the canonical form (and therefore every cache key)
+#: changes shape.
+SPEC_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (workload, system, policy) run, fully specified.
+
+    Attributes:
+        workload: Application name (single-core) or mix name such as
+            ``"2L1B1N"`` (one core per application).
+        config: System configuration name (key of
+            :data:`repro.sim.config.ALL_SYSTEMS`).
+        policy: ``"homogen"``, ``"heter-app"`` or ``"moca"``.
+        n_accesses: Trace length — per core for mixes.
+        input_name: Runtime input (``"ref"``, a variant like ``"ref2"``,
+            or ``"train"``); profiling always uses the training input.
+        thresholds: MOCA classification thresholds; ``None`` means the
+            paper's defaults.
+        seed: Root seed the synthetic workloads derive from.  Recorded
+            for provenance; only :data:`repro.util.rng.ROOT_SEED` is
+            runnable in-process.
+    """
+
+    workload: str
+    config: str
+    policy: str
+    n_accesses: int
+    input_name: str = REF
+    thresholds: Thresholds | None = None
+    seed: int = ROOT_SEED
+
+    def __post_init__(self) -> None:
+        if self.config not in ALL_SYSTEMS:
+            raise ValueError(
+                f"unknown system config {self.config!r} "
+                f"(choose from {sorted(ALL_SYSTEMS)})")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r} (choose from {POLICIES})")
+        if self.n_accesses <= 0:
+            raise ValueError(f"n_accesses must be positive, "
+                             f"got {self.n_accesses}")
+        if not is_valid_input(self.input_name):
+            raise ValueError(f"unknown input {self.input_name!r}")
+        if self.workload not in APPS:
+            # Raises ValueError with a helpful message on malformed names.
+            parse_mix_name(self.workload)
+
+    # ---- derived ------------------------------------------------------------
+
+    @property
+    def is_multi(self) -> bool:
+        """True when the workload is a mix name (one core per app)."""
+        return self.workload not in APPS
+
+    @property
+    def system_config(self) -> SystemConfig:
+        return ALL_SYSTEMS[self.config]
+
+    # ---- identity -----------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """Stable JSON-compatible form — the input to :meth:`key`.
+
+        Includes the *hash* of the resolved system configuration, so
+        editing a config's capacities or technologies invalidates cached
+        results even though the name stays the same.
+        """
+        from repro.obs.provenance import config_hash
+
+        return {
+            "schema": SPEC_SCHEMA,
+            "kind": "multi" if self.is_multi else "single",
+            "workload": self.workload,
+            "config": {"name": self.config,
+                       "hash": config_hash(self.system_config)},
+            "policy": self.policy,
+            "n_accesses": self.n_accesses,
+            "input": self.input_name,
+            "thresholds": (None if self.thresholds is None
+                           else dataclasses.asdict(self.thresholds)),
+            "seed": self.seed,
+        }
+
+    def key(self) -> str:
+        """Content address: SHA-256 hex of the canonical JSON form."""
+        doc = json.dumps(self.canonical(), sort_keys=True)
+        return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label (progress spans, log lines)."""
+        return f"{self.workload}/{self.config}/{self.policy}"
+
+
+def run(spec: RunSpec) -> RunMetrics:
+    """Execute one run; the single public entry point of the sim layer.
+
+    Dispatches to the single-core or multicore driver from the spec's
+    workload name.  Pure simulation — persistent caching lives one layer
+    up in :mod:`repro.experiments.engine`.
+    """
+    # Imported here: repro.sim.single/multi are heavier than this module
+    # and must stay importable without it (no cycle either way).
+    from repro.sim.multi import _run_multi
+    from repro.sim.single import _run_single
+
+    if spec.seed != ROOT_SEED:
+        raise ValueError(
+            f"spec.seed={spec.seed:#x} differs from the process root seed "
+            f"{ROOT_SEED:#x}; re-seeding requires changing "
+            f"repro.util.rng.ROOT_SEED before building any traces")
+    if spec.is_multi:
+        return _run_multi(spec.workload, spec.system_config, spec.policy,
+                          input_name=spec.input_name,
+                          n_accesses=spec.n_accesses,
+                          thresholds=spec.thresholds)
+    return _run_single(spec.workload, spec.system_config, spec.policy,
+                       input_name=spec.input_name,
+                       n_accesses=spec.n_accesses,
+                       thresholds=spec.thresholds)

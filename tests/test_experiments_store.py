@@ -42,7 +42,24 @@ class TestStore:
         doc = json.loads(path.read_text())
         doc["version"] = 42
         path.write_text(json.dumps(doc))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=str(path)):
+            load_figure(path)
+
+    def test_from_dict_rejects_row_length_mismatch(self):
+        doc = _fig().to_dict()
+        doc["rows"][1] = ["r2", 3.0]  # one cell short of `columns`
+        with pytest.raises(ValueError, match="figT.*2 cells, expected 3"):
+            FigureResult.from_dict(doc)
+
+    def test_load_figure_names_file_on_row_mismatch(self, tmp_path):
+        """A hand-edited artefact whose row no longer matches its columns
+        must fail with the offending *file* in the message."""
+        path = save_figure(_fig(), tmp_path)
+        doc = json.loads(path.read_text())
+        doc["rows"][0] = ["r1", 1.0]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError,
+                           match=rf"{path}.*invalid figure artefact"):
             load_figure(path)
 
 
@@ -99,11 +116,15 @@ class TestParallelSweep:
     def test_parallel_matches_serial(self, monkeypatch):
         """Workers must not change any number (determinism across
         process boundaries)."""
+        import os
         from repro.experiments import runner
         micro = Fidelity("micro-par", 6_000, 4_000)
         serial = runner.single_sweep(micro)
         runner.single_sweep.cache_clear()
         monkeypatch.setenv("REPRO_WORKERS", "2")
+        # Exercise the real pool even on a single-CPU machine (the
+        # engine otherwise caps fan-out at the CPU count).
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
         parallel = runner.single_sweep(micro)
         runner.single_sweep.cache_clear()
         assert serial.keys() == parallel.keys()

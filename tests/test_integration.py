@@ -16,8 +16,7 @@ from repro.sim.config import (
     HOMOGEN_LP,
     HOMOGEN_RL,
 )
-from repro.sim.multi import run_multi
-from repro.sim.single import run_single
+from repro.sim.spec import RunSpec, run
 from repro.vm.heap import ObjectType
 from repro.workloads.spec import APPS
 
@@ -38,7 +37,7 @@ def single_runs():
         ("MOCA", HETER_CONFIG1, "moca"),
     ]
     return {
-        (app, label): run_single(app, cfg, pol, n_accesses=N)
+        (app, label): run(RunSpec(app, cfg.name, pol, N))
         for app in apps for label, cfg, pol in systems
     }
 
@@ -144,7 +143,7 @@ class TestMulticoreShapes:
     @pytest.fixture(scope="class")
     def runs_2l1b1n(self):
         return {
-            lab: run_multi("2L1B1N", cfg, pol, n_accesses=NM)
+            lab: run(RunSpec("2L1B1N", cfg.name, pol, NM))
             for lab, cfg, pol in (
                 ("DDR3", HOMOGEN_DDR3, "homogen"),
                 ("LP", HOMOGEN_LP, "homogen"),

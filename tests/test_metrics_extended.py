@@ -5,8 +5,7 @@ import pytest
 from repro.moca.profiler import MemoryObjectProfiler
 from repro.sim.config import HOMOGEN_DDR3
 from repro.sim.metrics import fairness, weighted_speedup
-from repro.sim.multi import run_multi
-from repro.sim.single import run_single
+from repro.sim.spec import RunSpec, run
 from repro.trace.builder import TraceBuilder
 from repro.util.rng import stream
 from repro.workloads.mixes import mix
@@ -17,8 +16,8 @@ NM = 10_000
 @pytest.fixture(scope="module")
 def shared_and_alone():
     workload = mix("1B3N")
-    shared = run_multi(workload, HOMOGEN_DDR3, "homogen", n_accesses=NM)
-    alone = [run_single(a, HOMOGEN_DDR3, "homogen", n_accesses=NM)
+    shared = run(RunSpec("1B3N", "Homogen-DDR3", "homogen", NM))
+    alone = [run(RunSpec(a, "Homogen-DDR3", "homogen", NM))
              for a in workload.apps]
     return shared, alone
 

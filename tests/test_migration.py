@@ -119,10 +119,10 @@ class TestMigrationRunner:
         """The paper's argument: allocation-time placement beats runtime
         migration, which keeps paying copy costs and only ever catches a
         few pages of a large pointer-chased object."""
-        from repro.sim.single import run_single
+        from repro.sim.spec import RunSpec, run
         mig, _ = run_single_migration("mcf", HETER_CONFIG1,
                                       n_accesses=30_000)
-        moca = run_single("mcf", HETER_CONFIG1, "moca", n_accesses=30_000)
+        moca = run(RunSpec("mcf", "Heter-config1", "moca", 30_000))
         assert moca.mem_access_cycles < mig.mem_access_cycles
         assert moca.exec_cycles < mig.exec_cycles
 

@@ -17,7 +17,7 @@ from repro.obs import (
 )
 from repro.obs.registry import NULL_SPAN
 from repro.sim.config import HETER_CONFIG1, HOMOGEN_DDR3
-from repro.sim.single import run_single
+from repro.sim.spec import RunSpec, run
 
 N = 15_000
 
@@ -164,7 +164,7 @@ class TestSinks:
 
 class TestInstrumentedRun:
     def test_run_single_records_spans_and_counters(self, obs):
-        m = run_single("stitch", HOMOGEN_DDR3, "homogen", n_accesses=N)
+        m = run(RunSpec("stitch", "Homogen-DDR3", "homogen", N))
         # >= 3 nesting levels (run -> placement/core_replay and, on a
         # cold cache, cache_filter below run; moca runs nest deeper).
         names = {e.name for e in obs.spans()}
@@ -181,7 +181,7 @@ class TestInstrumentedRun:
     def test_moca_run_has_three_span_levels(self, obs):
         # Unique trace length so the memoized profiling pass runs cold
         # (a cached profile would skip the deepest spans).
-        run_single("gcc", HETER_CONFIG1, "moca", n_accesses=15_500)
+        run(RunSpec("gcc", "Heter-config1", "moca", 15_500))
         assert obs.max_depth >= 2  # depth 2 == three levels (0, 1, 2)
         names = {e.name for e in obs.spans()}
         assert "moca.profile" in names
@@ -189,7 +189,7 @@ class TestInstrumentedRun:
         assert placed
 
     def test_run_meta_attached_to_metrics(self, obs):
-        m = run_single("stitch", HOMOGEN_DDR3, "homogen", n_accesses=N)
+        m = run(RunSpec("stitch", "Homogen-DDR3", "homogen", N))
         assert m.meta["config"]["name"] == "Homogen-DDR3"
         assert len(m.meta["config"]["hash"]) == 16
         assert m.meta["policy"] == "homogen"
@@ -197,7 +197,7 @@ class TestInstrumentedRun:
         assert m.to_dict()["meta"]["workload"] == "stitch"
 
     def test_meta_present_without_obs(self):
-        m = run_single("stitch", HOMOGEN_DDR3, "homogen", n_accesses=N)
+        m = run(RunSpec("stitch", "Homogen-DDR3", "homogen", N))
         assert m.meta["config"]["hash"]
         assert "counters" not in m.meta  # snapshot only when enabled
 

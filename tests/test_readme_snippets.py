@@ -22,14 +22,15 @@ class TestReadme:
         quickstart = next(b for b in blocks if "profile_app" in b)
         # Shrink the runs so the guard stays fast, then execute verbatim.
         shrunk = quickstart.replace(
-            'run_single("disparity", HOMOGEN_DDR3, "homogen")',
-            'run_single("disparity", HOMOGEN_DDR3, "homogen", '
-            'n_accesses=20_000)').replace(
-            'run_single("disparity", HETER_CONFIG1, "moca")',
-            'run_single("disparity", HETER_CONFIG1, "moca", '
-            'n_accesses=20_000)').replace(
+            'RunSpec("disparity", "Homogen-DDR3", "homogen", 120_000)',
+            'RunSpec("disparity", "Homogen-DDR3", "homogen", 20_000)'
+            ).replace(
+            'RunSpec("disparity", "Heter-config1", "moca", 120_000)',
+            'RunSpec("disparity", "Heter-config1", "moca", 20_000)'
+            ).replace(
             'profile_app("disparity")',
             'profile_app("disparity", "train", 20_000)')
+        assert "20_000" in shrunk  # the replacements must have fired
         namespace: dict = {}
         exec(compile(shrunk, "README.md", "exec"), namespace)  # noqa: S102
         assert namespace["best"].mem_access_cycles \

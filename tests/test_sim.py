@@ -16,8 +16,8 @@ from repro.sim.config import (
     SystemConfig,
 )
 from repro.sim.metrics import CORE_POWER_W, RunMetrics
-from repro.sim.multi import run_multi
-from repro.sim.single import make_policy, run_single
+from repro.sim.single import make_policy
+from repro.sim.spec import RunSpec, run
 from repro.util.units import MIB
 
 N = 20_000  # short traces for unit-level checks
@@ -112,7 +112,7 @@ class TestMetricsType:
 
 class TestRunSingle:
     def test_returns_metrics(self):
-        m = run_single("sift", HOMOGEN_DDR3, "homogen", n_accesses=N)
+        m = run(RunSpec("sift", HOMOGEN_DDR3.name, "homogen", N))
         assert m.n_cores == 1
         assert m.exec_cycles > 0
         assert m.n_requests > 0
@@ -120,21 +120,21 @@ class TestRunSingle:
 
     def test_policies_on_hetero(self):
         for policy in ("heter-app", "moca"):
-            m = run_single("gcc", HETER_CONFIG1, policy, n_accesses=N)
+            m = run(RunSpec("gcc", HETER_CONFIG1.name, policy, N))
             assert m.policy == policy
 
     def test_unknown_policy(self):
         with pytest.raises(ValueError):
-            run_single("gcc", HOMOGEN_DDR3, "random", n_accesses=N)
+            run(RunSpec("gcc", HOMOGEN_DDR3.name, "random", N))
 
     def test_rl_faster_than_lp(self):
-        rl = run_single("mcf", HOMOGEN_RL, "homogen", n_accesses=N)
-        lp = run_single("mcf", HOMOGEN_LP, "homogen", n_accesses=N)
+        rl = run(RunSpec("mcf", HOMOGEN_RL.name, "homogen", N))
+        lp = run(RunSpec("mcf", HOMOGEN_LP.name, "homogen", N))
         assert rl.mem_access_cycles < lp.mem_access_cycles
 
     def test_deterministic(self):
-        a = run_single("stitch", HOMOGEN_HBM, "homogen", n_accesses=N)
-        b = run_single("stitch", HOMOGEN_HBM, "homogen", n_accesses=N)
+        a = run(RunSpec("stitch", HOMOGEN_HBM.name, "homogen", N))
+        b = run(RunSpec("stitch", HOMOGEN_HBM.name, "homogen", N))
         assert a.exec_cycles == b.exec_cycles
         assert a.mem_access_cycles == b.mem_access_cycles
 
@@ -146,31 +146,35 @@ class TestRunSingle:
 
 class TestRunMulti:
     def test_four_cores(self):
-        m = run_multi("1B3N", HOMOGEN_DDR3, "homogen", n_accesses=NM)
+        m = run(RunSpec("1B3N", HOMOGEN_DDR3.name, "homogen", NM))
         assert m.n_cores == 4
         assert len(m.per_core) == 4
         assert all(r.cycles > 0 for r in m.per_core)
 
     def test_mix_by_name_or_object(self):
+        from repro.sim.multi import run_multi
         from repro.workloads.mixes import mix
-        a = run_multi("1B3N", HOMOGEN_DDR3, "homogen", n_accesses=NM)
-        b = run_multi(mix("1B3N"), HOMOGEN_DDR3, "homogen", n_accesses=NM)
+        a = run(RunSpec("1B3N", HOMOGEN_DDR3.name, "homogen", NM))
+        # The deprecated alias still accepts Workload objects directly.
+        with pytest.deprecated_call():
+            b = run_multi(mix("1B3N"), HOMOGEN_DDR3, "homogen",
+                          n_accesses=NM)
         assert a.exec_cycles == b.exec_cycles
 
     def test_contention_slows_shared_system(self):
-        solo = run_single("lbm", HOMOGEN_DDR3, "homogen", n_accesses=NM)
-        multi = run_multi("4B", HOMOGEN_DDR3, "homogen", n_accesses=NM)
+        solo = run(RunSpec("lbm", HOMOGEN_DDR3.name, "homogen", NM))
+        multi = run(RunSpec("4B", HOMOGEN_DDR3.name, "homogen", NM))
         lbm_core = next(r for r in multi.per_core
                         if r.core_id == 1)  # 4B = mser, lbm, tracking, mser
         assert lbm_core.mem_access_cycles > solo.mem_access_cycles
 
     def test_exec_is_max_core(self):
-        m = run_multi("2B2N", HOMOGEN_HBM, "homogen", n_accesses=NM)
+        m = run(RunSpec("2B2N", HOMOGEN_HBM.name, "homogen", NM))
         assert m.exec_cycles == max(r.cycles for r in m.per_core)
 
     def test_moca_beats_heter_app_on_3l1b(self):
-        het = run_multi("3L1B", HETER_CONFIG1, "heter-app", n_accesses=NM)
-        moca = run_multi("3L1B", HETER_CONFIG1, "moca", n_accesses=NM)
+        het = run(RunSpec("3L1B", HETER_CONFIG1.name, "heter-app", NM))
+        moca = run(RunSpec("3L1B", HETER_CONFIG1.name, "moca", NM))
         assert moca.mem_access_cycles < het.mem_access_cycles
 
 
