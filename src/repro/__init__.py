@@ -52,6 +52,7 @@ from repro.moca import (
     name_from_site,
     plan_placement,
 )
+from repro.faults import FaultPlan
 from repro.moca.profiler import profile_app
 from repro.sim import (
     ALL_SYSTEMS,
@@ -91,6 +92,8 @@ __all__ = [
     "APPS", "APP_CLASSES", "MIXES", "build_app_trace", "mix",
     # vm
     "FramePool", "ObjectType", "OSPageAllocator", "PageTable", "TLB",
+    # faults
+    "FaultPlan",
     # moca
     "HeterAppPolicy", "HomogeneousPolicy", "InstrumentedApp",
     "MocaFramework", "MocaPolicy", "ObjectName", "ProfileLUT",

@@ -7,12 +7,24 @@ Usage::
     python -m repro.experiments all --fidelity tiny
     python -m repro.experiments fig08 --progress --trace out.json
     python -m repro.experiments all --save results/ --cache-dir results/.cache
+    python -m repro.experiments resilience --fidelity tiny --save results/
 
 Simulation results are cached on disk (default ``results/.cache``,
 override with ``--cache-dir`` or ``REPRO_CACHE_DIR``; ``--no-cache``
 disables, ``--refresh`` re-simulates and overwrites), so repeating a
 campaign reuses every run whose :class:`~repro.sim.spec.RunSpec` is
 unchanged.
+
+Campaigns are resilient by default: a figure whose sweep fails
+terminally (see :mod:`repro.experiments.resilience`) is recorded as
+``failed`` in the manifest and its siblings still run (``--fail-fast``
+restores abort-on-first-error).  With ``--save``, a checkpoint journal
+(``<save>/.campaign.json``) records per-figure completion, so an
+interrupted invocation resumes where it stopped — completed figures are
+reloaded from their artefacts instead of recomputed (``--no-resume``
+starts over).  ``--unit-timeout`` / ``--max-attempts`` (or the
+``REPRO_UNIT_TIMEOUT`` / ``REPRO_MAX_ATTEMPTS`` variables) bound how
+long the engine fights for each simulation unit.
 """
 
 from __future__ import annotations
@@ -21,15 +33,21 @@ import argparse
 import os
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import engine
 from repro.experiments import runner as _runner
+from repro.experiments.resilience import (
+    CampaignJournal,
+    JOURNAL_NAME,
+    RetryPolicy,
+)
 from repro.obs import OBS, ProgressReporter, run_meta, write_chrome_trace, \
     write_jsonl
 from repro.experiments import (
     devices, fig01, fig02, fig08, fig09, fig10, fig11, fig12, fig13,
-    fig14, fig15, fig16, headline, overhead, tables, taillat,
-    thresholds_sweep, variance,
+    fig14, fig15, fig16, headline, overhead, resilience_sweep, smoke,
+    tables, taillat, thresholds_sweep, variance,
 )
 
 EXPERIMENTS = {
@@ -53,11 +71,13 @@ EXPERIMENTS = {
     "devices": devices.compute,
     "variance": variance.compute,
     "taillat": taillat.compute,
+    "smoke": smoke.compute,
+    "resilience": resilience_sweep.compute,
 }
 
 #: The paper's own artefacts — what ``all`` regenerates.  The remaining
-#: ids (thresholds, variance, ...) are extensions; run them by name or
-#: via ``extras``.
+#: ids (thresholds, variance, resilience, smoke, ...) are extensions;
+#: run them by name or via ``extras``.
 PAPER_SET = (
     "fig01", "fig02", "table1", "table2", "table3",
     "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
@@ -96,6 +116,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--refresh", action="store_true",
                         help="re-simulate every run and overwrite its "
                              "cached result")
+    failure = parser.add_mutually_exclusive_group()
+    failure.add_argument("--keep-going", dest="keep_going",
+                         action="store_true", default=True,
+                         help="record a failed figure and continue with "
+                              "its siblings (default)")
+    failure.add_argument("--fail-fast", dest="keep_going",
+                         action="store_false",
+                         help="abort the campaign on the first failed "
+                              "figure")
+    parser.add_argument("--unit-timeout", metavar="SECONDS", type=float,
+                        default=None,
+                        help="wall-clock timeout per simulation unit "
+                             "(default: $REPRO_UNIT_TIMEOUT or none)")
+    parser.add_argument("--max-attempts", metavar="N", type=int,
+                        default=None,
+                        help="attempts per simulation unit before it "
+                             "fails terminally (default: "
+                             "$REPRO_MAX_ATTEMPTS or 3)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="ignore the campaign checkpoint journal in "
+                             "--save DIR and recompute every figure")
     args = parser.parse_args(argv)
 
     if args.trace or args.obs_dump or args.progress:
@@ -110,6 +151,13 @@ def main(argv: list[str] | None = None) -> int:
                          or os.environ.get("REPRO_CACHE_DIR")
                          or engine.DEFAULT_CACHE_DIR,
                          refresh=args.refresh)
+    if args.unit_timeout is not None or args.max_attempts is not None:
+        base = RetryPolicy.from_env()
+        engine.configure_resilience(RetryPolicy(
+            unit_timeout=(args.unit_timeout if args.unit_timeout is not None
+                          else base.unit_timeout),
+            max_attempts=(args.max_attempts if args.max_attempts is not None
+                          else base.max_attempts)))
 
     fidelity = _runner.FIDELITIES[args.fidelity]
     names: list[str] = []
@@ -120,36 +168,90 @@ def main(argv: list[str] | None = None) -> int:
             names.extend(EXTRAS_SET)
         else:
             names.append(token)
+
+    journal: CampaignJournal | None = None
+    if args.save:
+        journal = CampaignJournal(Path(args.save) / JOURNAL_NAME,
+                                  fidelity=fidelity.name)
+        if args.no_resume or args.refresh:
+            journal.clear()
+
     try:
+        from repro.experiments.store import load_figure, save_figure
+
         saved = []
+        statuses: dict[str, dict] = {}
+        failed = 0
         for name in names:
             t0 = time.time()
-            with OBS.span(f"experiment.{name}", fidelity=fidelity.name):
-                fig = EXPERIMENTS[name](fidelity)
+            # Resume: a figure the journal marks done, whose artefact is
+            # still on disk, is reloaded instead of recomputed.
+            if journal is not None and journal.is_done(name):
+                artefact = Path(args.save) / f"{name}.json"
+                try:
+                    fig = load_figure(artefact)
+                except (FileNotFoundError, OSError, ValueError):
+                    fig = None
+                if fig is not None:
+                    print(fig.render_bars() if args.bars else fig.render())
+                    print(f"[{name}: resumed from checkpoint]")
+                    print()
+                    statuses[name] = {"status": "resumed"}
+                    saved.append(fig.figure_id)
+                    continue
+            try:
+                with OBS.span(f"experiment.{name}", fidelity=fidelity.name):
+                    fig = EXPERIMENTS[name](fidelity)
+            except Exception as exc:  # noqa: BLE001 - campaign boundary
+                seconds = round(time.time() - t0, 3)
+                statuses[name] = {"status": "failed", "seconds": seconds,
+                                  "error": f"{type(exc).__name__}: {exc}"}
+                if journal is not None:
+                    journal.mark(name, "failed",
+                                 error=statuses[name]["error"])
+                failed += 1
+                print(f"[{name}: FAILED after {seconds}s: "
+                      f"{type(exc).__name__}: {exc}]", file=sys.stderr)
+                print()
+                if not args.keep_going:
+                    break
+                continue
+            seconds = round(time.time() - t0, 3)
             print(fig.render_bars() if args.bars else fig.render())
-            print(f"[{name}: {time.time() - t0:.1f}s]")
+            print(f"[{name}: {seconds}s]")
             print()
+            statuses[name] = {"status": "ok", "seconds": seconds}
             if args.save:
-                from repro.experiments.store import save_figure
                 save_figure(fig, args.save,
                             meta=run_meta(fidelity=fidelity, experiment=name))
                 saved.append(fig.figure_id)
-        if args.save and saved:
+                if journal is not None:
+                    journal.mark(name, "done", seconds=seconds)
+        if args.save:
             from repro.experiments.store import write_manifest
-            write_manifest(args.save, fidelity, saved)
+            write_manifest(args.save, fidelity, saved, statuses=statuses)
             print(f"artefacts written to {args.save}/")
         stats = engine.cache_stats()
         if stats is not None and (stats["hits"] or stats["misses"]):
             print(f"[result cache: {stats['hits']} hits, "
                   f"{stats['misses']} misses, {stats['stores']} stored "
                   f"({stats['directory']})]", file=sys.stderr)
+        res = engine.resilience_stats()
+        if res is not None and (res["retries"] or res["timeouts"]
+                                or res["pool_breaks"]
+                                or res["failed_units"]):
+            print(f"[resilience: {res['retries']} retries, "
+                  f"{res['timeouts']} timeouts, {res['pool_breaks']} pool "
+                  f"rebuilds, {len(res['failed_units'])} failed unit(s)"
+                  f"{', degraded to serial' if res['degraded_serial'] else ''}"
+                  f"]", file=sys.stderr)
         if args.trace:
             path = write_chrome_trace(OBS, args.trace)
             print(f"chrome trace written to {path}", file=sys.stderr)
         if args.obs_dump:
             path = write_jsonl(OBS, args.obs_dump)
             print(f"obs event log written to {path}", file=sys.stderr)
-        return 0
+        return 1 if failed else 0
     finally:
         # Embedded invocations (tests) must not leak this command's cache
         # configuration into later library use in the same process.

@@ -156,10 +156,22 @@ class ResultCache:
         return path
 
     def _evict_over(self, limit: int) -> None:
-        entries = sorted(self.directory.glob("*.json"),
-                         key=lambda p: p.stat().st_mtime)
+        # A sibling process sharing the directory may evict (or a reader
+        # may delete a corrupt entry) between our glob and the stat —
+        # treat a vanished file as oldest-possible so it sorts first and
+        # the unlink below is a harmless no-op.
+        def mtime(p: Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except (FileNotFoundError, OSError):
+                return 0.0
+
+        entries = sorted(self.directory.glob("*.json"), key=mtime)
         for victim in entries[:max(0, len(entries) - limit)]:
-            victim.unlink(missing_ok=True)
+            try:
+                victim.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - platform-dependent race
+                continue
             self.stats.evicted += 1
             OBS.add("cache.evict")
 

@@ -6,18 +6,22 @@ The engine turns a list of :class:`~repro.sim.spec.RunSpec` units into
 1. consulting the active :class:`~repro.experiments.cache.ResultCache`
    (if any) for each spec — a hit costs one JSON read instead of a
    simulation;
-2. scheduling the misses across a ``ProcessPoolExecutor`` at **run
-   granularity**: 6 systems x N workloads saturate ``REPRO_WORKERS``
-   workers even when there are more workers than workloads (the old
-   scheduler shipped one whole per-workload row per worker, capping
-   parallelism at the row count and leaving stragglers at the tail);
-3. storing every fresh result back into the cache, so an interrupted
-   sweep resumes where it stopped and a repeated campaign after a no-op
-   change is near-instant.
+2. scheduling the misses across worker processes at **run granularity**
+   via :func:`repro.experiments.resilience.run_resilient`: 6 systems x N
+   workloads saturate ``REPRO_WORKERS`` workers, and a crashed worker,
+   hung unit, or transient error costs retries — not the campaign
+   (see the resilience module for timeouts, backoff, pool rebuilds, and
+   serial degradation);
+3. storing every fresh result back into the cache — successes are
+   persisted even when sibling units fail terminally
+   (:class:`~repro.experiments.resilience.SweepFailure`), so an
+   interrupted or partially-failed sweep resumes where it stopped and a
+   repeated campaign after a no-op change is near-instant.
 
-Units are chunked in workload order before fan-out, so each worker still
-handles contiguous specs of mostly the same workload and its memoized
-cache-filter (``repro.sim.single.filtered_stream``) stays warm.
+Units are submitted individually (timeout/retry granularity demands it)
+but in workload order, so a worker draining the queue still sees runs of
+mostly the same workload and its memoized cache-filter
+(``repro.sim.single.filtered_stream``) stays warm.
 
 Cache selection, in priority order: an explicit :func:`configure` call
 (the CLIs' ``--cache-dir``/``--no-cache``/``--refresh`` flags), else the
@@ -30,11 +34,16 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Sequence
 
 from repro.experiments.cache import ResultCache
+from repro.experiments.resilience import (
+    RetryPolicy,
+    SweepFailure,
+    chaos_probe,
+    run_resilient,
+)
 from repro.obs.registry import OBS
 from repro.sim.metrics import RunMetrics
 from repro.sim.spec import RunSpec, run
@@ -44,8 +53,10 @@ __all__ = [
     "active_cache",
     "cache_stats",
     "configure",
+    "configure_resilience",
     "execute",
     "reset",
+    "resilience_stats",
     "run_cached",
     "sweep_seconds",
     "sweep_workers",
@@ -60,6 +71,10 @@ _UNSET = object()
 _cache_override: object = _UNSET
 _env_cache: ResultCache | None = None
 _sweep_seconds: dict[str, float] = {}
+#: Explicit retry/timeout policy (None = RetryPolicy.from_env()).
+_retry_policy: RetryPolicy | None = None
+#: Accumulated resilience tallies across execute() calls (manifest).
+_resilience: dict = {}
 
 
 def sweep_workers() -> int:
@@ -93,16 +108,48 @@ def configure(directory: str | Path | None, *, refresh: bool = False,
     return _cache_override
 
 
+def configure_resilience(policy: RetryPolicy | None) -> None:
+    """Select the retry/timeout policy for subsequent sweeps.
+
+    ``None`` reverts to :meth:`RetryPolicy.from_env` (the
+    ``REPRO_UNIT_TIMEOUT`` / ``REPRO_MAX_ATTEMPTS`` variables).
+    """
+    global _retry_policy
+    _retry_policy = policy
+
+
+def active_retry_policy() -> RetryPolicy:
+    """The policy :func:`execute` will apply to its cache misses."""
+    return _retry_policy if _retry_policy is not None \
+        else RetryPolicy.from_env()
+
+
+def resilience_stats() -> dict | None:
+    """Manifest-ready resilience tallies (``None`` = nothing simulated)."""
+    if not _resilience:
+        return None
+    return {
+        "units": _resilience.get("units", 0),
+        "retries": _resilience.get("retries", 0),
+        "timeouts": _resilience.get("timeouts", 0),
+        "pool_breaks": _resilience.get("pool_breaks", 0),
+        "degraded_serial": _resilience.get("degraded_serial", False),
+        "failed_units": list(_resilience.get("failed_units", [])),
+    }
+
+
 def reset() -> None:
-    """Drop explicit configuration and phase timings.
+    """Drop explicit configuration, phase timings, and resilience state.
 
     The next :func:`active_cache` call falls back to ``REPRO_CACHE_DIR``
     (or no cache).  The CLIs call this on exit so embedded invocations
     (tests, notebooks) don't leak one command's cache into the next.
     """
-    global _cache_override
+    global _cache_override, _retry_policy
     _cache_override = _UNSET
+    _retry_policy = None
     _sweep_seconds.clear()
+    _resilience.clear()
 
 
 def active_cache() -> ResultCache | None:
@@ -135,7 +182,13 @@ def sweep_seconds() -> dict[str, float]:
 
 
 def _execute_spec(spec: RunSpec) -> RunMetrics:
-    """Top-level (picklable) worker entry: simulate one run unit."""
+    """Top-level (picklable) worker entry: simulate one run unit.
+
+    The chaos probe makes this the fault site harness tests exercise
+    (worker crash / hung unit / transient error); it is a no-op unless
+    ``REPRO_CHAOS_DIR`` is set.
+    """
+    chaos_probe()
     return run(spec)
 
 
@@ -146,8 +199,12 @@ def _effective_workers(n_units: int) -> int:
     (``filtered_stream``, profiling), so oversubscribing the machine
     only duplicates that work — ``REPRO_WORKERS=4`` on a single-CPU box
     must degrade to the (faster) serial path, not slow the sweep down.
+    ``REPRO_OVERSUBSCRIBE=1`` lifts the CPU cap (resilience tests need
+    real worker processes even on one-CPU machines).
     """
     workers = sweep_workers()
+    if os.environ.get("REPRO_OVERSUBSCRIBE") == "1":
+        return max(1, min(workers, n_units))
     cpus = os.cpu_count() or 1
     if workers > cpus:
         OBS.warn(f"REPRO_WORKERS={workers} exceeds the {cpus} available "
@@ -155,13 +212,41 @@ def _effective_workers(n_units: int) -> int:
     return max(1, min(workers, cpus, n_units))
 
 
+def _tally(report) -> None:
+    """Fold one ExecutionReport into the process-wide manifest stats."""
+    _resilience["units"] = (_resilience.get("units", 0)
+                            + len(report.results))
+    _resilience["retries"] = _resilience.get("retries", 0) + report.retries
+    _resilience["timeouts"] = (_resilience.get("timeouts", 0)
+                               + report.timeouts)
+    _resilience["pool_breaks"] = (_resilience.get("pool_breaks", 0)
+                                  + report.pool_breaks)
+    _resilience["degraded_serial"] = (_resilience.get("degraded_serial",
+                                                      False)
+                                      or report.degraded_serial)
+    _resilience.setdefault("failed_units", []).extend(
+        f.to_dict() for f in report.failures)
+
+
 def execute(specs: Sequence[RunSpec], *,
             phase: str | None = None) -> list[RunMetrics]:
     """Resolve every spec, via cache or simulation; preserves order.
 
+    Cache misses run through :func:`repro.experiments.resilience
+    .run_resilient` — per-unit retries with backoff, wall-clock
+    timeouts, worker-pool rebuilds, and serial degradation after
+    repeated breaks.  Every successful unit is cached *before* terminal
+    failures surface, so a partially-failed sweep leaves its survivors
+    behind and a retried campaign only re-simulates the losers.
+
     Args:
         phase: Label under which the call's wall time is accumulated
             (shows up in the campaign manifest's ``sweep_seconds``).
+
+    Raises:
+        SweepFailure: One or more units failed terminally (after all
+            retries).  The exception lists them; cached siblings are
+            unaffected.
     """
     t0 = time.perf_counter()
     cache = active_cache()
@@ -177,25 +262,20 @@ def execute(specs: Sequence[RunSpec], *,
     if missing:
         todo = [specs[i] for i in missing]
         workers = _effective_workers(len(todo))
-        if workers > 1:
-            # Chunked map: small enough chunks to load-balance across
-            # workers, big enough that consecutive same-workload specs
-            # stay in one process (warm filtered_stream memoization).
-            chunk = max(1, -(-len(todo) // (workers * 4)))
-            with ProcessPoolExecutor(max_workers=workers) as ex:
-                computed = list(ex.map(_execute_spec, todo, chunksize=chunk))
-            OBS.add("sweep.runs_done", len(computed))
-        else:
-            computed = []
-            for spec in todo:
-                with OBS.span(f"sweep.unit.{spec.workload}.{spec.policy}",
-                              system=spec.config):
-                    computed.append(run(spec))
-                OBS.add("sweep.runs_done")
-        for i, metrics in zip(missing, computed):
+        report = run_resilient(todo, workers=workers,
+                               policy=active_retry_policy(),
+                               runner=_execute_spec)
+        _tally(report)
+        for i, metrics in zip(missing, report.results):
             results[i] = metrics
-            if cache is not None:
+            if metrics is not None and cache is not None:
                 cache.put(specs[i], metrics)
+        if phase is not None:
+            _sweep_seconds[phase] = (_sweep_seconds.get(phase, 0.0)
+                                     + time.perf_counter() - t0)
+        if report.failures:
+            raise SweepFailure(report.failures, phase=phase)
+        return results  # type: ignore[return-value]
 
     if phase is not None:
         _sweep_seconds[phase] = (_sweep_seconds.get(phase, 0.0)

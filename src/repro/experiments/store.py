@@ -59,13 +59,19 @@ def load_figure(path: str | Path) -> FigureResult:
 
 
 def write_manifest(directory: str | Path, fidelity: Fidelity,
-                   figure_ids: list[str]) -> Path:
+                   figure_ids: list[str],
+                   statuses: dict[str, dict] | None = None) -> Path:
     """Record campaign provenance next to the artefacts.
 
     Besides versions/seed/fidelity this captures the sweep engine's
     per-phase wall times and — when a persistent result cache is active —
     its hit/miss/store tallies and hit ratio, so a warm campaign is
-    distinguishable from a cold one after the fact.
+    distinguishable from a cold one after the fact.  ``statuses`` (the
+    CLI's per-figure outcome map: ``ok`` / ``failed`` / ``resumed`` plus
+    wall time or error) and the engine's resilience tallies (retries,
+    timeouts, pool rebuilds, terminal unit failures, degraded-serial
+    flag) land in the manifest too, so a campaign that survived faults
+    says so instead of looking clean.
     """
     import repro
     from repro.experiments import engine
@@ -86,9 +92,14 @@ def write_manifest(directory: str | Path, fidelity: Fidelity,
                      "n_multi": fidelity.n_multi},
         "figures": sorted(figure_ids),
     }
+    if statuses:
+        doc["figure_status"] = {k: dict(v) for k, v in statuses.items()}
     cache = engine.cache_stats()
     if cache is not None:
         doc["cache"] = cache
+    resilience = engine.resilience_stats()
+    if resilience is not None:
+        doc["resilience"] = resilience
     sweeps = engine.sweep_seconds()
     if sweeps:
         doc["sweep_seconds"] = {k: round(v, 6) for k, v in sweeps.items()}
@@ -120,7 +131,9 @@ def build_report(directory: str | Path, title: str = "Experiment report",
             f"{doc.get('library_version', '?')}.*")
         parts.append("")
     for path in figures:
-        if path.name == "manifest.json":
+        # Skip the manifest and hidden housekeeping files (the campaign
+        # journal ``.campaign.json`` — pathlib's glob matches dotfiles).
+        if path.name == "manifest.json" or path.name.startswith("."):
             continue
         parts.append(load_figure(path).render_markdown())
         parts.append("")

@@ -157,6 +157,29 @@ class MemoryModule:
                     b.refresh(t, at)
             self._next_refresh += t.tREFI
 
+    # ---- fault injection --------------------------------------------------------
+
+    def derate(self, timing: DeviceTiming) -> None:
+        """Swap in degraded timings mid-life (fault injection).
+
+        Only valid for timings with identical architecture parameters
+        (banks, subchannels, row sizes) — i.e. the output of
+        :meth:`DeviceTiming.scaled` — because the decode geometry is
+        precomputed from them.  Bank and bus state carry over: accesses
+        already in flight finished at the old speed, later ones queue at
+        the new one.
+        """
+        old = self.timing
+        if (timing.n_banks != old.n_banks
+                or timing.n_subchannels != old.n_subchannels
+                or timing.effective_row_bytes != old.effective_row_bytes):
+            raise ValueError(
+                f"{self.name}: derate() cannot change device geometry")
+        self.timing = timing
+        # Re-anchor the refresh schedule under the (unscaled) tREFI.
+        if self._next_refresh < timing.tREFI:
+            self._next_refresh = timing.tREFI
+
     # ---- bookkeeping ------------------------------------------------------------
 
     @property

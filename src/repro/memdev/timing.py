@@ -176,6 +176,34 @@ class DeviceTiming:
         bytes_per_ns = self.channel_width_bits / 8 * 2 / self.tCK_ns
         return bytes_per_ns * self.n_subchannels
 
+    # ---- fault injection ----------------------------------------------------
+
+    def scaled(self, factor: float) -> "DeviceTiming":
+        """Uniformly derated copy: every analog timing ``factor`` slower.
+
+        Models a throttled or degraded part (fault injection, thermal
+        derating).  Scaling tCK slows the data bus, so both latency and
+        bandwidth degrade together; architecture parameters (banks,
+        widths, row sizes) are untouched, and the tRAS <= tRC invariant
+        is preserved by construction.  The refresh interval tREFI is
+        deliberately *not* scaled — refresh obligations don't relax just
+        because the part runs slow.
+        """
+        if factor < 1.0:
+            raise ValueError(f"derating factor {factor} must be >= 1")
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            tCK_ns=self.tCK_ns * factor,
+            tRAS_ns=self.tRAS_ns * factor,
+            tRCD_ns=self.tRCD_ns * factor,
+            tRC_ns=self.tRC_ns * factor,
+            tRFC_ns=self.tRFC_ns * factor,
+            tFAW_ns=self.tFAW_ns * factor,
+            turnaround_ns=self.turnaround_ns * factor,
+        )
+
 
 def _cyc(ns: float) -> int:
     """Round an analog timing up to whole 1 GHz cycles (>=0)."""

@@ -23,8 +23,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cpu.hierarchy import MissStream
+from repro.obs.registry import OBS
 from repro.trace.events import PAGE_BYTES, VirtualLayout
-from repro.vm.allocator import AllocationStats, OSPageAllocator
+from repro.vm.allocator import (
+    AllocationStats,
+    OSPageAllocator,
+    OutOfFramesError,
+)
 from repro.vm.heap import ObjectType
 
 #: Per-core virtual-address-space separation for page-table keys.
@@ -178,11 +183,25 @@ def plan_placement(streams: list[MissStream], policy: PlacementPolicy,
     # Priority first; then instantiation order (segments before heap,
     # lower allocation sites first), round-robin across cores.
     objects.sort(key=lambda t: (t[0], t[1], t[2]))
+    exhausted_warned = False
     for _, obj, core, pages in objects:
         typ = policy.object_type(core, obj)
         base = core * (CORE_STRIDE // PAGE_BYTES)
         for vpage in pages:
-            allocator.allocate_page(base + vpage, typ)
+            try:
+                allocator.allocate_page(base + vpage, typ)
+            except OutOfFramesError:
+                # Every pool is full (offlined/shrunken modules, or a
+                # working set beyond physical capacity): degrade to the
+                # overcommit path instead of aborting the run.  The
+                # paper's OS would swap here; we keep the page in the
+                # worst acceptable module and count it.
+                if not exhausted_warned:
+                    exhausted_warned = True
+                    OBS.warn(
+                        f"placement: all frame pools exhausted placing "
+                        f"{typ.name} pages; overcommitting (degraded run)")
+                allocator.allocate_overcommit(base + vpage, typ)
     # Translate every stream against the finished page table.
     groups: list[np.ndarray] = []
     gaddrs: list[np.ndarray] = []

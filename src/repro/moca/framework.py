@@ -11,6 +11,7 @@ to give :class:`~repro.moca.allocation.MocaPolicy` its object-type maps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.moca.classify import DEFAULT_THRESHOLDS, Thresholds, classify_object
 from repro.moca.naming import ObjectName, name_from_site
@@ -19,6 +20,9 @@ from repro.obs.registry import OBS
 from repro.trace.events import AccessTrace
 from repro.vm.heap import ObjectType
 from repro.workloads.inputs import TRAIN
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -56,20 +60,36 @@ class InstrumentedApp:
 
 
 class MocaFramework:
-    """Profile → classify → instrument → (runtime) object-type maps."""
+    """Profile → classify → instrument → (runtime) object-type maps.
+
+    Args:
+        faults: Optional :class:`~repro.faults.FaultPlan`.  When the plan
+            carries a guidance fault, the profiling LUT is degraded
+            (entries dropped or scrambled) *before* classification —
+            modelling stale or mismatched training-input profiles — so
+            the instrumented metadata, not the simulator, is what lies.
+    """
 
     def __init__(self, thresholds: Thresholds = DEFAULT_THRESHOLDS,
                  profile_input: str = TRAIN,
-                 profile_accesses: int = 200_000):
+                 profile_accesses: int = 200_000,
+                 faults: "FaultPlan | None" = None):
         self.thresholds = thresholds
         self.profile_input = profile_input
         self.profile_accesses = profile_accesses
+        self.faults = faults
 
     def instrument(self, app_name: str,
                    profiled: ProfiledApp | None = None) -> InstrumentedApp:
         """Run the offline stage for one application."""
         profiled = profiled or profile_app(
             app_name, self.profile_input, self.profile_accesses)
+        if self.faults is not None and self.faults.has_lut_fault:
+            # Deferred import: repro.faults is a leaf layer, but keep the
+            # dependency out of the hot path for clean runs.
+            from repro.faults.inject import apply_lut_faults
+
+            profiled = apply_lut_faults(profiled, self.faults)
         types = {
             p.name: classify_object(p, self.thresholds)
             for p in profiled.lut

@@ -8,6 +8,7 @@ SimPoints) accumulate into one profile.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.moca.naming import ObjectName
@@ -71,6 +72,26 @@ class ProfileLUT:
 
     def get(self, name: ObjectName) -> ObjectProfile | None:
         return self._entries.get(name)
+
+    def names(self) -> list[ObjectName]:
+        """All profiled object names, in registration order."""
+        return list(self._entries)
+
+    def clone(self) -> "ProfileLUT":
+        """Deep copy: entries are fresh :class:`ObjectProfile` objects.
+
+        The fault-injection layer mutates a clone's entries (drop /
+        scramble) — never the original, which :func:`profile_app`
+        memoizes and shares across runs.
+        """
+        out = ProfileLUT(self.app_name)
+        for name, p in self._entries.items():
+            out._entries[name] = dataclasses.replace(p)
+        return out
+
+    def remove(self, name: ObjectName) -> None:
+        """Forget an object's profile (fault injection: dropped entry)."""
+        self._entries.pop(name, None)
 
     def register(self, profile: ObjectProfile, weight: float = 1.0) -> ObjectProfile:
         """Insert or merge a profiled window for an object."""

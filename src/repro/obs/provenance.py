@@ -43,6 +43,7 @@ def config_hash(config: object) -> str:
 def run_meta(*, config: object | None = None, policy: str | None = None,
              workload: str | None = None, thresholds: object | None = None,
              fidelity: object | None = None, seed: int = ROOT_SEED,
+             faults: object | None = None,
              registry: Registry | None = None, **extra) -> dict:
     """Assemble a provenance ``meta`` block for one run or artefact.
 
@@ -69,6 +70,13 @@ def run_meta(*, config: object | None = None, policy: str | None = None,
         meta["workload"] = workload
     if thresholds is not None:
         meta["thresholds"] = _jsonable(thresholds)
+    if faults is not None:
+        # FaultPlan has a canonical() form; fall back to asdict for
+        # anything else dataclass-shaped.
+        canon = getattr(faults, "canonical", None)
+        meta["faults"] = canon() if callable(canon) else _jsonable(faults)
+        if hasattr(faults, "describe"):
+            meta["faults"]["label"] = faults.describe()
     if fidelity is not None:
         if isinstance(fidelity, str):
             meta["fidelity"] = {"name": fidelity}

@@ -13,6 +13,8 @@ import heapq
 import warnings
 
 from repro.cpu.core import CoreParams, InOrderWindowCore
+from repro.faults.inject import apply_system_faults, arm_allocator
+from repro.faults.plan import FaultPlan
 from repro.moca.classify import Thresholds
 from repro.moca.allocation import plan_placement
 from repro.obs.provenance import run_meta
@@ -29,7 +31,8 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
                n_accesses: int = 60_000,
                thresholds: Thresholds | None = None,
                profile_accesses: int | None = None,
-               core_params: CoreParams | None = None) -> RunMetrics:
+               core_params: CoreParams | None = None,
+               faults: FaultPlan | None = None) -> RunMetrics:
     """Run a 4-app workload set on a fresh instance of ``config``.
 
     Internal driver behind :func:`repro.sim.run`; the deprecated
@@ -49,11 +52,16 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
                    for a in workload.apps]
         with OBS.span("placement", policy=policy_name):
             memsys = config.build()
+            if faults is not None:
+                apply_system_faults(memsys, faults)
             allocator = config.make_allocator(memsys)
+            if faults is not None:
+                arm_allocator(allocator, faults)
             policy = make_policy(policy_name, list(workload.apps),
                                  input_name, n_accesses,
                                  thresholds=thresholds,
-                                 profile_accesses=profile_accesses)
+                                 profile_accesses=profile_accesses,
+                                 faults=faults)
             plan = plan_placement(streams, policy, allocator,
                                   layouts=layouts)
         cores = [
@@ -78,7 +86,9 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
             # finalize tails (also publishes per-core obs counters)
             results = [c.run_to_completion(memsys) for c in cores]
         meta = run_meta(config=config, policy=policy_name,
-                        workload=workload.name, thresholds=thresholds)
+                        workload=workload.name, thresholds=thresholds,
+                        faults=faults)
+        meta["placement"] = plan.stats.to_dict()
         return collect_metrics(config.name, policy_name, workload.name,
                                results, memsys, meta=meta)
 

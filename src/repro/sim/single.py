@@ -13,6 +13,8 @@ from functools import lru_cache
 
 from repro.cpu.core import CoreParams, InOrderWindowCore
 from repro.cpu.hierarchy import CacheHierarchy, CacheStats, MissStream
+from repro.faults.inject import apply_system_faults, arm_allocator
+from repro.faults.plan import FaultPlan
 from repro.moca.allocation import (
     HeterAppPolicy,
     HomogeneousPolicy,
@@ -52,7 +54,8 @@ def filtered_stream(app_name: str, input_name: str,
 def make_policy(policy_name: str, app_names: list[str],
                 input_name: str, n_accesses: int, *,
                 thresholds: Thresholds | None = None,
-                profile_accesses: int | None = None) -> PlacementPolicy:
+                profile_accesses: int | None = None,
+                faults: FaultPlan | None = None) -> PlacementPolicy:
     """Construct a placement policy for the given per-core applications.
 
     * ``"homogen"`` — everything to the single group;
@@ -60,6 +63,10 @@ def make_policy(policy_name: str, app_names: list[str],
     * ``"moca"`` — object types from offline profiling on the training
       input (classification is input-independent metadata; the runtime
       trace only resolves names to live objects).
+
+    ``faults`` only affects MOCA: a plan with a guidance fault degrades
+    the profiling LUT before classification (the baselines carry no
+    profile to corrupt).
     """
     if policy_name == "homogen":
         return HomogeneousPolicy()
@@ -70,6 +77,7 @@ def make_policy(policy_name: str, app_names: list[str],
         fw = MocaFramework(
             thresholds=thresholds or Thresholds(),
             profile_accesses=profile_accesses or n_accesses,
+            faults=faults,
         )
         per_core_types = []
         per_core_heat = []
@@ -86,7 +94,8 @@ def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
                 input_name: str = REF, n_accesses: int = 120_000,
                 thresholds: Thresholds | None = None,
                 profile_accesses: int | None = None,
-                core_params: CoreParams | None = None) -> RunMetrics:
+                core_params: CoreParams | None = None,
+                faults: FaultPlan | None = None) -> RunMetrics:
     """Run one application on a fresh instance of ``config``.
 
     Internal driver behind :func:`repro.sim.run`; the deprecated
@@ -97,10 +106,15 @@ def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
         layout = build_app_trace(app_name, input_name, n_accesses).layout
         with OBS.span("placement", policy=policy_name):
             memsys = config.build()
+            if faults is not None:
+                apply_system_faults(memsys, faults)
             allocator = config.make_allocator(memsys)
+            if faults is not None:
+                arm_allocator(allocator, faults)
             policy = make_policy(policy_name, [app_name], input_name,
                                  n_accesses, thresholds=thresholds,
-                                 profile_accesses=profile_accesses)
+                                 profile_accesses=profile_accesses,
+                                 faults=faults)
             plan = plan_placement([stream], policy, allocator,
                                   layouts=[layout])
         with OBS.span("core_replay", app=app_name):
@@ -108,7 +122,9 @@ def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
                                      core_params)
             result = core.run_to_completion(memsys)
         meta = run_meta(config=config, policy=policy_name,
-                        workload=app_name, thresholds=thresholds)
+                        workload=app_name, thresholds=thresholds,
+                        faults=faults)
+        meta["placement"] = plan.stats.to_dict()
         return collect_metrics(config.name, policy_name, app_name,
                                [result], memsys, meta=meta)
 

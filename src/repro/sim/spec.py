@@ -28,6 +28,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 
+from repro.faults.plan import FaultPlan
 from repro.moca.classify import Thresholds
 from repro.sim.config import ALL_SYSTEMS, SystemConfig
 from repro.sim.metrics import RunMetrics
@@ -64,6 +65,10 @@ class RunSpec:
         seed: Root seed the synthetic workloads derive from.  Recorded
             for provenance; only :data:`repro.util.rng.ROOT_SEED` is
             runnable in-process.
+        faults: Injected-fault description (:class:`repro.faults.FaultPlan`),
+            or ``None`` for a clean run.  Part of the canonical form, so
+            fault runs never share cache entries with clean runs — while
+            clean specs keep their pre-fault-era keys.
     """
 
     workload: str
@@ -73,6 +78,7 @@ class RunSpec:
     input_name: str = REF
     thresholds: Thresholds | None = None
     seed: int = ROOT_SEED
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.config not in ALL_SYSTEMS:
@@ -90,6 +96,10 @@ class RunSpec:
         if self.workload not in APPS:
             # Raises ValueError with a helpful message on malformed names.
             parse_mix_name(self.workload)
+        if self.faults is not None and self.faults.is_clean:
+            # A no-op plan must not mint a second cache key for the same
+            # numbers; normalize it away.
+            object.__setattr__(self, "faults", None)
 
     # ---- derived ------------------------------------------------------------
 
@@ -113,7 +123,7 @@ class RunSpec:
         """
         from repro.obs.provenance import config_hash
 
-        return {
+        doc = {
             "schema": SPEC_SCHEMA,
             "kind": "multi" if self.is_multi else "single",
             "workload": self.workload,
@@ -126,6 +136,12 @@ class RunSpec:
                            else dataclasses.asdict(self.thresholds)),
             "seed": self.seed,
         }
+        # Added only when present, so every clean spec keeps the exact
+        # key it had before fault injection existed (warm caches stay
+        # warm across the upgrade).
+        if self.faults is not None:
+            doc["faults"] = self.faults.canonical()
+        return doc
 
     def key(self) -> str:
         """Content address: SHA-256 hex of the canonical JSON form."""
@@ -134,7 +150,10 @@ class RunSpec:
 
     def describe(self) -> str:
         """Short human-readable label (progress spans, log lines)."""
-        return f"{self.workload}/{self.config}/{self.policy}"
+        label = f"{self.workload}/{self.config}/{self.policy}"
+        if self.faults is not None:
+            label += f"[{self.faults.describe()}]"
+        return label
 
 
 def run(spec: RunSpec) -> RunMetrics:
@@ -158,8 +177,10 @@ def run(spec: RunSpec) -> RunMetrics:
         return _run_multi(spec.workload, spec.system_config, spec.policy,
                           input_name=spec.input_name,
                           n_accesses=spec.n_accesses,
-                          thresholds=spec.thresholds)
+                          thresholds=spec.thresholds,
+                          faults=spec.faults)
     return _run_single(spec.workload, spec.system_config, spec.policy,
                        input_name=spec.input_name,
                        n_accesses=spec.n_accesses,
-                       thresholds=spec.thresholds)
+                       thresholds=spec.thresholds,
+                       faults=spec.faults)

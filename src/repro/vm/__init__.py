@@ -18,7 +18,11 @@ This subpackage provides those mechanisms independent of any policy:
 from repro.vm.physmem import FramePool, OutOfMemory
 from repro.vm.pagetable import PageTable, TLB
 from repro.vm.heap import ObjectType, TypedHeap, FALLBACK_CHAINS
-from repro.vm.allocator import OSPageAllocator, AllocationStats
+from repro.vm.allocator import (
+    AllocationStats,
+    OSPageAllocator,
+    OutOfFramesError,
+)
 from repro.vm.migration import HotPageMigrator, MigrationConfig, MigrationStats
 
 __all__ = [
@@ -30,6 +34,7 @@ __all__ = [
     "TypedHeap",
     "FALLBACK_CHAINS",
     "OSPageAllocator",
+    "OutOfFramesError",
     "AllocationStats",
     "HotPageMigrator",
     "MigrationConfig",

@@ -4,11 +4,20 @@ Given the channel-group *roles* of a memory system (which group is the
 latency module, which the bandwidth module, ...), the allocator resolves
 an object type's fallback chain to concrete groups and hands out frames,
 spilling to the next-best module when the preferred pool is full.
+
+Exhaustion is a first-class outcome, not just an exception:
+:meth:`OSPageAllocator.allocate_page` raises :class:`OutOfFramesError`
+(carrying per-pool occupancy and the requested type) when every pool in
+the chain is out of frames, and :meth:`OSPageAllocator.allocate_overcommit`
+is the degraded path the placement planner takes instead of crashing —
+it models the OS swapping past physical capacity, with every such page
+tallied in :class:`AllocationStats` so a degraded run stays measurable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.obs.registry import OBS
 from repro.vm.heap import FALLBACK_CHAINS, ObjectType
@@ -16,17 +25,42 @@ from repro.vm.pagetable import PageTable
 from repro.vm.physmem import FramePool, OutOfMemory
 
 
+class OutOfFramesError(OutOfMemory):
+    """Every pool in a fallback chain is exhausted.
+
+    Attributes:
+        object_type: The :class:`ObjectType` whose chain came up empty.
+        occupancy: group index → ``(allocated, total)`` frame counts at
+            the moment of failure, so the failure is diagnosable without
+            a debugger (which module filled first, which was offline).
+    """
+
+    def __init__(self, object_type: ObjectType,
+                 occupancy: dict[int, tuple[int, int]]):
+        self.object_type = object_type
+        self.occupancy = dict(occupancy)
+        detail = ", ".join(
+            f"group {g}: {used}/{total}"
+            for g, (used, total) in sorted(occupancy.items()))
+        super().__init__(
+            f"no frames left in any pool for type {object_type} ({detail})")
+
+
 @dataclass
 class AllocationStats:
     """Placement outcome counters.
 
     ``placed[type][group]`` counts pages of each object type per group;
-    ``spills[type]`` counts pages that missed their first-choice module.
+    ``spills[type]`` counts pages that missed their first-choice module;
+    ``exhausted[type]`` counts pages that found *every* pool full and had
+    to be overcommitted (the degraded no-crash path).
     """
 
     placed: dict[ObjectType, dict[int, int]] = field(
         default_factory=lambda: {t: {} for t in ObjectType})
     spills: dict[ObjectType, int] = field(
+        default_factory=lambda: {t: 0 for t in ObjectType})
+    exhausted: dict[ObjectType, int] = field(
         default_factory=lambda: {t: 0 for t in ObjectType})
 
     def record(self, typ: ObjectType, group: int, spilled: bool) -> None:
@@ -39,9 +73,34 @@ class AllocationStats:
     def total_pages(self) -> int:
         return sum(n for by_g in self.placed.values() for n in by_g.values())
 
+    @property
+    def total_spills(self) -> int:
+        return sum(self.spills.values())
+
+    @property
+    def total_exhausted(self) -> int:
+        return sum(self.exhausted.values())
+
     def spill_rate(self, typ: ObjectType) -> float:
         total = sum(self.placed[typ].values())
         return self.spills[typ] / total if total else 0.0
+
+    @property
+    def overall_spill_rate(self) -> float:
+        total = self.total_pages
+        return self.total_spills / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """Manifest/provenance-ready summary of the placement outcome."""
+        return {
+            "pages": self.total_pages,
+            "spills": self.total_spills,
+            "exhausted": self.total_exhausted,
+            "spill_rate": round(self.overall_spill_rate, 6),
+            "spills_by_type": {t.name: n for t, n in self.spills.items()},
+            "exhausted_by_type": {t.name: n
+                                  for t, n in self.exhausted.items()},
+        }
 
 
 class OSPageAllocator:
@@ -53,6 +112,12 @@ class OSPageAllocator:
             A role may be absent (e.g. no RLDRAM in a homogeneous system);
             chains skip absent roles.
         page_table: Shared page table to record mappings into.
+
+    Attributes:
+        fault_hook: Optional callable invoked before every allocation —
+            the fault-injection layer (:mod:`repro.faults.inject`) uses it
+            to offline/shrink pools after a page-count threshold,
+            modelling a module failing mid-run.
     """
 
     def __init__(self, pools: dict[int, FramePool], roles: dict[str, int],
@@ -66,6 +131,7 @@ class OSPageAllocator:
         self.roles = dict(roles)
         self.page_table = page_table or PageTable()
         self.stats = AllocationStats()
+        self.fault_hook: Callable[[], None] | None = None
         # Resolve each type's role chain to concrete group indices once.
         self._chains: dict[ObjectType, list[int]] = {}
         for typ, role_chain in FALLBACK_CHAINS.items():
@@ -81,11 +147,20 @@ class OSPageAllocator:
         """Concrete group order this type's pages try, best-fit first."""
         return list(self._chains[typ])
 
+    def occupancy(self) -> dict[int, tuple[int, int]]:
+        """Per-group ``(allocated, total)`` frame counts right now."""
+        return {g: (p.n_allocated, p.n_frames)
+                for g, p in self.pools.items()}
+
     def allocate_page(self, vpage: int, typ: ObjectType) -> tuple[int, int]:
         """Map ``vpage`` with a frame of type ``typ``; returns (group, frame).
 
-        Raises :class:`OutOfMemory` when every pool is exhausted.
+        Raises :class:`OutOfFramesError` (an :class:`OutOfMemory`) when
+        every pool in the chain is exhausted; resilient callers degrade
+        via :meth:`allocate_overcommit` instead of propagating.
         """
+        if self.fault_hook is not None:
+            self.fault_hook()
         chain = self._chains[typ]
         for i, group in enumerate(chain):
             frame = self.pools[group].allocate()
@@ -101,8 +176,27 @@ class OSPageAllocator:
                 return group, frame
         if OBS.enabled:
             OBS.add(f"alloc.oom.{typ.name}")
-        raise OutOfMemory(
-            f"no frames left in any of {len(chain)} pools for type {typ}")
+        raise OutOfFramesError(typ, self.occupancy())
+
+    def allocate_overcommit(self, vpage: int, typ: ObjectType) -> tuple[int, int]:
+        """Degraded allocation when the whole chain is exhausted.
+
+        Places the page in the last online pool of the type's chain (the
+        worst acceptable home) *beyond* its physical capacity — the
+        reproduction's stand-in for the OS swapping — and tallies it in
+        ``stats.exhausted`` so graceful degradation is visible in every
+        report.
+        """
+        chain = self._chains[typ]
+        target = next((g for g in reversed(chain)
+                       if not self.pools[g].is_offline), chain[-1])
+        frame = self.pools[target].allocate_overcommit()
+        self.page_table.map_page(vpage, target, frame)
+        self.stats.record(typ, target, spilled=True)
+        self.stats.exhausted[typ] += 1
+        if OBS.enabled:
+            OBS.add(f"alloc.overcommit.{typ.name}")
+        return target, frame
 
     def free_frames(self) -> dict[int, int]:
         """Remaining frames per group."""

@@ -27,9 +27,13 @@ class FramePool:
         self._next = 0
         self._free: list[int] = []
         self.n_allocated = 0
+        self.is_offline = False
+        self.n_overcommitted = 0
 
     @property
     def frames_left(self) -> int:
+        if self.is_offline:
+            return 0
         return self.n_frames - self._next + len(self._free)
 
     @property
@@ -38,6 +42,8 @@ class FramePool:
 
     def allocate(self) -> int | None:
         """Return the next free frame number, or ``None`` when full."""
+        if self.is_offline:
+            return None
         if self._free:
             frame = self._free.pop()
         elif self._next < self.n_frames:
@@ -47,6 +53,43 @@ class FramePool:
             return None
         self.n_allocated += 1
         return frame
+
+    def allocate_overcommit(self) -> int:
+        """Hand out a frame *beyond* capacity (the OS's swap of last
+        resort): never fails, but every such frame is tallied in
+        ``n_overcommitted`` so degraded runs are measurable."""
+        frame = self._next
+        self._next += 1
+        self.n_allocated += 1
+        self.n_overcommitted += 1
+        return frame
+
+    # ---- fault injection -----------------------------------------------------
+
+    def offline(self) -> None:
+        """Take the pool offline: no further allocations succeed.
+
+        Already-granted frames stay valid (their data is simply slow to
+        reach), matching a module fenced off after correctable-error
+        storms rather than one physically unplugged.
+        """
+        self.is_offline = True
+
+    def shrink(self, fraction: float) -> int:
+        """Remove ``fraction`` of the pool's frames; returns frames lost.
+
+        Granted frames are never revoked: the pool shrinks to at most
+        its currently-allocated extent.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"shrink fraction {fraction} outside [0, 1]")
+        target = int(self.n_frames * (1.0 - fraction))
+        # Never shrink below the high-water mark: frame numbers already
+        # handed out (even ones since freed) stay addressable.
+        new_frames = max(self._next, target)
+        lost = max(0, self.n_frames - new_frames)
+        self.n_frames = new_frames
+        return lost
 
     def free(self, frame: int) -> None:
         """Return a frame to the pool."""

@@ -112,7 +112,8 @@ class TestCli:
         expected = {"fig01", "fig02", "table1", "table2", "table3",
                     "thresholds", "devices", "variance", "taillat",
                     "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-                    "fig14", "fig15", "fig16", "overhead", "headline"}
+                    "fig14", "fig15", "fig16", "overhead", "headline",
+                    "smoke", "resilience"}
         assert set(EXPERIMENTS) == expected
 
     def test_main_runs_one(self, capsys):

@@ -285,3 +285,53 @@ class TestCampaignEquivalence:
             assert a["columns"] == b["columns"]
             assert a["rows"] == b["rows"]
         runner.single_sweep.cache_clear()
+
+
+#: Worker body for the concurrent-eviction stress test below: hammer a
+#: shared size-bounded cache with distinct keys so every process evicts
+#: entries while its siblings are storing (and vice versa).
+EVICT_WORKER = """
+import sys
+sys.path.insert(0, "src")
+from repro.experiments.cache import ResultCache
+from repro.sim.spec import RunSpec, run
+
+directory, tag = sys.argv[1], int(sys.argv[2])
+metrics = run(RunSpec("sift", "Homogen-DDR3", "homogen", 1_000))
+cache = ResultCache(directory, max_entries=4)
+for i in range(40):
+    spec = RunSpec("sift", "Homogen-DDR3", "homogen",
+                   2_000 + tag * 1_000 + i)
+    cache.put(spec, metrics)
+print(cache.stats.evicted)
+"""
+
+
+class TestConcurrentEviction:
+    def test_parallel_processes_evicting_one_directory(self, tmp_path):
+        """Several processes store into one bounded cache at once; the
+        glob/stat/unlink races inside ``_evict_over`` must all be
+        harmless (satellite: tolerate concurrently-evicted entries)."""
+        shared = tmp_path / "cache"
+        env = {**os.environ, "PYTHONPATH": "src"}
+        procs = [subprocess.Popen(
+                     [sys.executable, "-c", EVICT_WORKER, str(shared),
+                      str(tag)],
+                     stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                     text=True, env=env, cwd=Path(__file__).parent.parent)
+                 for tag in range(4)]
+        outs = [p.communicate(timeout=300) for p in procs]
+        assert all(p.returncode == 0 for p in procs), \
+            [err for _, err in outs]
+        # Every worker actually exercised eviction, nobody crashed.
+        assert all(int(out.strip()) > 0 for out, _ in outs)
+        # The bound roughly holds (transient overshoot while several
+        # puts race is fine; unbounded growth is not).
+        survivors = list(shared.glob("*.json"))
+        assert 1 <= len(survivors) <= 16
+        # Survivors are intact, readable entries.
+        for path in survivors:
+            doc = json.loads(path.read_text())
+            assert doc["version"] == CACHE_VERSION
+        # No temp-file debris from the atomic writes.
+        assert not list(shared.glob("*.tmp"))
