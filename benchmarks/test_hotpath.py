@@ -1,0 +1,110 @@
+"""Replay hot-loop benchmark: kernelized fast path vs reference.
+
+Times one realistic single-core replay (mcf on Heter-config1, the
+paper's flagship heterogeneous system) on both engines and asserts the
+kernelized path keeps its advantage:
+
+* results must be bit-identical (cheap smoke on top of the exhaustive
+  ``tests/test_parity.py``);
+* the speedup must not regress more than 15% against the committed
+  baseline in ``hotpath_baseline.json`` (and never below the 5x floor
+  the fast path was built to clear).
+
+The timed region covers ``InOrderWindowCore`` construction *plus* the
+full replay — episode segmentation happens at construction on the fast
+path, so excluding it would flatter the kernel.  Speedup (a ratio on the
+same machine) is compared rather than absolute records/sec, which vary
+across CI runners.  Measurements land in ``BENCH_hotpath.json`` next to
+this file for the CI job to archive.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_hotpath.py \
+        -p no:hypothesispytest
+
+The hypothesis pytest plugin is disabled because merely loading it slows
+the vectorized replay ~20% (its coverage instrumentation hooks the whole
+process), which would poison the speedup measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.cpu.core import InOrderWindowCore
+from repro.moca.allocation import HomogeneousPolicy, plan_placement
+from repro.sim.config import ALL_SYSTEMS
+from repro.sim.single import filtered_stream
+from repro.workloads.inputs import REF, build_app_trace
+
+HERE = Path(__file__).parent
+BASELINE_PATH = HERE / "hotpath_baseline.json"
+RESULT_PATH = HERE / "BENCH_hotpath.json"
+
+APP = "mcf"
+CONFIG = "Heter-config1"
+N_ACCESSES = 120_000
+REPEATS = 3  # best-of, to shrug off scheduler noise
+
+
+def _replay_once(fast: bool):
+    """One full replay; returns (seconds, CoreResult, n_records).
+
+    System build and placement run outside the timed region — they are
+    identical on both paths and not what this benchmark measures.
+    """
+    stream, _ = filtered_stream(APP, REF, N_ACCESSES)
+    layout = build_app_trace(APP, REF, N_ACCESSES).layout
+    config = ALL_SYSTEMS[CONFIG]
+    memsys = config.build()
+    allocator = config.make_allocator(memsys)
+    plan = plan_placement([stream], HomogeneousPolicy(), allocator,
+                          layouts=[layout])
+    t0 = time.perf_counter()
+    core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0],
+                             fast_path=fast)
+    result = core.run_to_completion(memsys)
+    return time.perf_counter() - t0, result, len(stream)
+
+
+def test_hotpath_speedup_holds():
+    best: dict[bool, float] = {}
+    results: dict[bool, dict] = {}
+    n_records = 0
+    for fast in (True, False):
+        times = []
+        for _ in range(REPEATS):
+            dt, result, n_records = _replay_once(fast)
+            times.append(dt)
+        best[fast] = min(times)
+        results[fast] = result.to_dict()
+
+    # The benchmark is only meaningful if both engines agree.
+    assert results[True] == results[False]
+
+    speedup = best[False] / best[True]
+    doc = {
+        "workload": APP,
+        "config": CONFIG,
+        "n_accesses": N_ACCESSES,
+        "n_records": n_records,
+        "repeats": REPEATS,
+        "ref_seconds": round(best[False], 4),
+        "fast_seconds": round(best[True], 4),
+        "ref_records_per_sec": round(n_records / best[False]),
+        "fast_records_per_sec": round(n_records / best[True]),
+        "speedup": round(speedup, 2),
+    }
+    RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nhotpath: ref {doc['ref_records_per_sec']} rec/s, "
+          f"fast {doc['fast_records_per_sec']} rec/s, "
+          f"speedup {doc['speedup']}x")
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = max(5.0, 0.85 * baseline["speedup"])
+    assert speedup >= floor, (
+        f"fast-path speedup regressed: measured {speedup:.2f}x, "
+        f"floor {floor:.2f}x (baseline {baseline['speedup']}x - 15%); "
+        f"see {RESULT_PATH}")

@@ -21,6 +21,8 @@ full memory latency on every miss and wants RLDRAM.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fractions import Fraction
+from functools import cached_property
 
 import numpy as np
 
@@ -54,6 +56,25 @@ class CoreParams:
     def max_overlap(self) -> int:
         """Maximum demand misses in flight at once."""
         return min(self.mshr, self.lq_size)
+
+    @cached_property
+    def ipc_ratio(self) -> tuple[int, int]:
+        """IPC as an exact rational ``(num, den)``.
+
+        ``ipc=0.1`` arrives as the nearest binary double, so computing
+        retire gaps with ``int(gap / ipc)`` silently loses cycles through
+        float error (``int(3 / 0.1) == 29``).  Recovering the intended
+        rational once (1/10) makes every gap computation exact integer
+        arithmetic; denominators are capped at 10**6, far beyond any
+        plausible IPC setting.
+        """
+        frac = Fraction(self.ipc).limit_denominator(1_000_000)
+        return frac.numerator, frac.denominator
+
+    def cycles_for(self, instructions: int) -> int:
+        """Cycles to retire ``instructions`` at this IPC (exact, floor)."""
+        num, den = self.ipc_ratio
+        return (instructions * den) // num
 
 
 @dataclass
@@ -141,8 +162,95 @@ class CoreResult:
         )
 
 
+def _env_fast_default() -> bool:
+    """Process-wide fast-path default (``REPRO_FAST_PATH=0`` kills it).
+
+    The kill switch exists so a suspect result can be re-derived on the
+    reference interpreter fleet-wide — sweeps, profiling replays, and
+    migration epochs alike — without editing any figure code.
+    """
+    import os
+
+    return os.environ.get("REPRO_FAST_PATH", "1") != "0"
+
+
+_NEG = -(1 << 62)
+
+
+def _seg_exclusive_cummax(values: np.ndarray, seg: np.ndarray) -> np.ndarray:
+    """Exclusive running max of ``values`` restarting at each segment.
+
+    ``seg`` is non-decreasing (episode id per element).  Position ``i``
+    gets ``max(values[j] for j in same segment, j < i)``, or ``_NEG`` for
+    the first element of a segment.  Implemented with the offset trick:
+    shift each segment's values into a disjoint band so one global
+    ``maximum.accumulate`` cannot leak across segments; falls back to a
+    Python loop if the band arithmetic could overflow int64.
+    """
+    n = len(values)
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+    lo = int(values.min())
+    span = int(values.max()) - lo + 1
+    if int(seg[-1]) * span < (1 << 62):
+        band = seg * span
+        cm = np.maximum.accumulate((values - lo) + band) - band + lo
+        out[0] = _NEG
+        out[1:] = cm[:-1]
+        starts = np.empty(n, dtype=bool)
+        starts[0] = True
+        np.not_equal(seg[1:], seg[:-1], out=starts[1:])
+        out[starts] = _NEG
+    else:
+        cur = _NEG
+        prev_seg = -1
+        for i, (s, v) in enumerate(zip(seg.tolist(), values.tolist())):
+            if s != prev_seg:
+                cur = _NEG
+                prev_seg = s
+            out[i] = cur
+            if v > cur:
+                cur = v
+    return out
+
+
+def _sums_by_first_occurrence(objs: np.ndarray,
+                              *values: np.ndarray) -> list[dict[int, int]]:
+    """Per-object integer sums, dict keys in first-occurrence order.
+
+    Matches the insertion order the reference loop's ``dict.get``
+    accumulation produces.  Sums use ``np.add.at`` on int64 (exact);
+    ``bincount`` with float weights would not be.
+    """
+    uniq, first, inv = np.unique(objs, return_index=True, return_inverse=True)
+    order = np.argsort(first, kind="stable").tolist()
+    out = []
+    for v in values:
+        sums = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(sums, inv, v)
+        out.append({int(uniq[oi]): int(sums[oi]) for oi in order})
+    return out
+
+
 class InOrderWindowCore:
     """Steppable per-core replay state (multicore drivers interleave cores).
+
+    Two interchangeable execution engines sit behind the same stepping
+    interface:
+
+    * the **reference path** (``fast_path=False``) — the original
+      per-record Python loop, kept as the executable specification;
+    * the **fast path** (default) — episode boundaries, per-record issue
+      offsets, and channel routing/decode are precomputed as numpy
+      arrays at construction, request batches are drained through the
+      struct-of-arrays kernel (:mod:`repro.memctrl.batch`), and all
+      per-object/per-episode accounting is deferred to one vectorized
+      pass at completion.
+
+    The two are **bit-identical** — same :class:`CoreResult`, same
+    memory-system counters, same multicore interleave decisions — which
+    ``tests/test_parity.py`` enforces over randomized traces.
 
     Args:
         stream: LLC miss stream for this core's application.
@@ -153,25 +261,22 @@ class InOrderWindowCore:
         start_cycle: Initial cycle (0 unless modelling staggered starts).
         inst_prev: Instruction count already retired before this stream
             slice (used by epoch-sliced replays, e.g. page migration).
+        fast_path: ``True``/``False`` select the engine; ``None`` (the
+            default) defers to the ``REPRO_FAST_PATH`` environment
+            variable (on unless set to ``0``).
     """
 
     def __init__(self, stream: MissStream, groups: np.ndarray, gaddrs: np.ndarray,
                  params: CoreParams | None = None, core_id: int = 0,
-                 start_cycle: int = 0, inst_prev: int = 0):
+                 start_cycle: int = 0, inst_prev: int = 0,
+                 fast_path: bool | None = None):
         if len(groups) != len(stream) or len(gaddrs) != len(stream):
             raise ValueError("translation arrays must match the miss stream length")
         self.params = params or CoreParams()
         self.core_id = core_id
+        self.fast_path = _env_fast_default() if fast_path is None else bool(fast_path)
         self.total_instructions = stream.total_instructions
-        # Plain-int lists: the episode loop is dict/int-bound, numpy scalar
-        # extraction would dominate (HPC guide: profile-driven choice).
-        self._inst = stream.inst.tolist()
-        self._dep = stream.dep.tolist()
-        self._kind = stream.kind.tolist()
-        self._obj = stream.obj_id.tolist()
-        self._group = groups.tolist()
-        self._gaddr = gaddrs.tolist()
-        self._n = len(self._inst)
+        self._n = len(stream)
         self._idx = 0
         self._cycle = start_cycle
         self._inst_prev = inst_prev
@@ -181,6 +286,112 @@ class InOrderWindowCore:
             n_demand=0, n_load_misses=0, n_writebacks=0, n_prefetches=0,
             n_episodes=0, mem_access_cycles=0, load_stall_cycles=0,
         )
+        if self.fast_path:
+            self._init_fast(stream, groups, gaddrs, inst_prev)
+        else:
+            # Plain-int lists: the episode loop is dict/int-bound, numpy
+            # scalar extraction would dominate (profile-driven choice).
+            self._inst = stream.inst.tolist()
+            self._dep = stream.dep.tolist()
+            self._kind = stream.kind.tolist()
+            self._obj = stream.obj_id.tolist()
+            self._group = groups.tolist()
+            self._gaddr = gaddrs.tolist()
+
+    # ---- fast-path precompute -----------------------------------------------------
+
+    def _init_fast(self, stream: MissStream, groups: np.ndarray,
+                   gaddrs: np.ndarray, inst_prev: int) -> None:
+        """Vectorized episode segmentation + issue-offset precompute.
+
+        Episode membership depends only on the stream and the core
+        parameters — never on memory timing — so every boundary the
+        reference loop would discover record-by-record is derivable up
+        front: for each candidate head ``h`` the earliest break position
+        among (a) the batch cap, (b) the next dependent demand miss,
+        (c) the first demand outside the ROB window, and (d) the demand
+        that would exceed the MSHR overlap, all via ``searchsorted``.
+        """
+        p = self.params
+        num, den = p.ipc_ratio
+        self._f_stream = stream
+        self._f_groups = np.asarray(groups)
+        self._f_gaddrs = np.asarray(gaddrs)
+        self._f_tables = None
+        self._f_ep = 0
+        n = self._n
+        if n == 0:
+            self._f_nep = 0
+            self._f_tail = (self.total_instructions * den) // num
+            return
+        inst = stream.inst
+        kind = stream.kind
+        demand = kind <= KIND_STORE
+        dep = np.asarray(stream.dep, dtype=bool)
+        mo = p.max_overlap
+        cap = 4 * mo
+        idx = np.arange(n, dtype=np.int64)
+        break_at = np.minimum(idx + max(cap, 1), n)
+        dd = np.flatnonzero(demand)
+        pp = np.flatnonzero(demand & dep)
+        if len(pp):
+            pos = np.searchsorted(pp, idx, side="right")
+            b2 = np.where(pos < len(pp), pp[np.minimum(pos, len(pp) - 1)], n)
+            np.minimum(break_at, b2, out=break_at)
+        if len(dd):
+            inst_dd = inst[dd]
+            pos = np.searchsorted(inst_dd, inst + p.rob_size, side="right")
+            b3 = np.where(pos < len(dd), dd[np.minimum(pos, len(dd) - 1)], n)
+            np.minimum(break_at, b3, out=break_at)
+            pos4 = np.searchsorted(dd, idx, side="left") + mo
+            safe = np.minimum(pos4, len(dd) - 1)
+            b4 = np.where(pos4 < len(dd), dd[safe], n)
+            # mo == 0 degenerates: a demand head would name itself; the
+            # reference loop breaks at the *next* demand instead.
+            at_head = (pos4 < len(dd)) & (b4 == idx)
+            if at_head.any():
+                pos4b = pos4 + 1
+                safe = np.minimum(pos4b, len(dd) - 1)
+                b4 = np.where(at_head,
+                              np.where(pos4b < len(dd), dd[safe], n), b4)
+            np.minimum(break_at, b4, out=break_at)
+        break_l = break_at.tolist()
+        heads = []
+        h = 0
+        while h < n:
+            heads.append(h)
+            h = break_l[h]
+        ep_start = np.asarray(heads, dtype=np.int64)
+        ep_end = np.append(ep_start[1:], n)
+        nep = len(heads)
+        ep_of = np.repeat(np.arange(nep, dtype=np.int64), ep_end - ep_start)
+        head_inst = inst[ep_start].astype(np.int64)
+        off = ((inst.astype(np.int64) - head_inst[ep_of]) * den) // num
+        prev_inst = np.empty(nep, dtype=np.int64)
+        prev_inst[0] = inst_prev
+        if nep > 1:
+            prev_inst[1:] = inst[ep_start[1:] - 1]
+        headgap = ((head_inst - prev_inst) * den) // num
+        self._f_nep = nep
+        self._f_ep_of = ep_of
+        self._f_off_np = off
+        self._f_ep_start = ep_start.tolist()
+        self._f_ep_end = ep_end.tolist()
+        self._f_headgap = headgap.tolist()
+        self._f_off = off.tolist()
+        self._f_off_last = off[ep_end - 1].tolist()
+        self._f_ep_issue0 = [0] * nep
+        self._f_tail = ((self.total_instructions - int(inst[n - 1])) * den) // num
+
+    def _tables(self, memsys: MemorySystem):
+        tb = self._f_tables
+        if tb is None or tb.memsys is not memsys:
+            from repro.memctrl.batch import ReplayTables
+
+            tb = ReplayTables(memsys, self._f_groups, self._f_gaddrs,
+                              self._f_stream.kind)
+            self._f_tables = tb
+        return tb
 
     # ---- stepping interface -------------------------------------------------------
 
@@ -192,17 +403,95 @@ class InOrderWindowCore:
         """Earliest cycle at which this core's next episode head issues."""
         if self.finished:
             return 1 << 62
+        if self.fast_path:
+            return self._cycle + self._f_headgap[self._f_ep]
         gap = self._inst[self._idx] - self._inst_prev
-        return self._cycle + int(gap / self.params.ipc)
+        return self._cycle + self.params.cycles_for(gap)
 
     def run_episode(self, memsys: MemorySystem) -> int:
         """Issue one MLP episode against ``memsys``; returns new core cycle."""
+        if self.fast_path:
+            return self._run_episode_fast(memsys)
+        return self._run_episode_ref(memsys)
+
+    def _run_episode_fast(self, memsys: MemorySystem) -> int:
+        """Drain one precomputed episode through the SoA batch kernel."""
+        k = self._f_ep
+        s = self._f_ep_start[k]
+        e = self._f_ep_end[k]
+        issue0 = self._cycle + self._f_headgap[k]
+        self._f_ep_issue0[k] = issue0
+        load_done_max, done_max = self._tables(memsys).drain_episode(
+            s, e, issue0, self._f_off)
+        t = load_done_max if load_done_max > issue0 else issue0
+        c2 = issue0 + self._f_off_last[k]
+        if c2 > t:
+            t = c2
+        c3 = done_max - self.params.backlog
+        self._cycle = c3 if c3 > t else t
+        self._f_ep = k + 1
+        self._idx = e
+        if self._idx >= self._n:
+            self._finalize_fast()
+        return self._cycle
+
+    def _finalize_fast(self) -> None:
+        """One vectorized accounting pass, bit-equal to the reference loop.
+
+        Also flushes the deferred per-record memory-system statistics the
+        SoA kernel withheld during the replay (module/controller counters,
+        latency histograms) — nothing reads those mid-replay, so batching
+        them here is observation-equivalent to the reference's live
+        updates.
+        """
+        res = self.result
+        self._cycle += self._f_tail
+        res.cycles = self._cycle
+        res.n_episodes = self._f_nep
+        stream = self._f_stream
+        n_load, n_store, n_wb, n_pf = stream.kind_counts()
+        res.n_demand = n_load + n_store
+        res.n_load_misses = n_load
+        res.n_writebacks = n_wb
+        res.n_prefetches = n_pf
+        tb = self._f_tables
+        if tb is None:
+            return
+        self._inst_prev = int(stream.inst[self._n - 1])
+        tb.flush_stats()
+        kind = stream.kind
+        obj = stream.obj_id.astype(np.int64)
+        done = np.asarray(tb.done_l, dtype=np.int64)
+        ep_issue0 = np.asarray(self._f_ep_issue0, dtype=np.int64)
+        issue = ep_issue0[self._f_ep_of] + self._f_off_np
+        dsel = np.flatnonzero(kind <= KIND_STORE)
+        if len(dsel):
+            res.mem_access_cycles = int((done[dsel] - issue[dsel]).sum())
+            res.demand_by_obj, = _sums_by_first_occurrence(
+                obj[dsel], np.ones(len(dsel), dtype=np.int64))
+        ld = np.flatnonzero(kind == KIND_LOAD)
+        if len(ld):
+            ld_done = done[ld]
+            ld_seg = self._f_ep_of[ld]
+            # ROB-head time just before each load: the episode's issue0,
+            # raised by every earlier load completion in the episode.
+            t_arr = np.maximum(ep_issue0[ld_seg],
+                               _seg_exclusive_cummax(ld_done, ld_seg))
+            stall = ld_done - np.maximum(t_arr, issue[ld])
+            np.maximum(stall, 0, out=stall)
+            res.load_stall_cycles = int(stall.sum())
+            res.stall_by_obj, res.load_misses_by_obj = \
+                _sums_by_first_occurrence(
+                    obj[ld], stall, np.ones(len(ld), dtype=np.int64))
+
+    def _run_episode_ref(self, memsys: MemorySystem) -> int:
         p = self.params
+        num, den = p.ipc_ratio
         inst, dep, kind = self._inst, self._dep, self._kind
         obj, group, gaddr = self._obj, self._group, self._gaddr
         i = self._idx
         head_inst = inst[i]
-        issue0 = self._cycle + int((head_inst - self._inst_prev) / p.ipc)
+        issue0 = self._cycle + ((head_inst - self._inst_prev) * den) // num
 
         # Gather the episode: head record plus every subsequent record that
         # fits the ROB window, has an MSHR, and is not a dependent miss.
@@ -226,7 +515,7 @@ class InOrderWindowCore:
                     break
                 if n_demand >= p.max_overlap:
                     break
-            issue = issue0 + int((inst[j] - head_inst) / p.ipc)
+            issue = issue0 + ((inst[j] - head_inst) * den) // num
             batch.append(MemRequest(
                 group=group[j], gaddr=gaddr[j], issue_cycle=issue,
                 is_write=(k == KIND_STORE or k == KIND_WRITEBACK),
@@ -268,20 +557,20 @@ class InOrderWindowCore:
         res.n_episodes += 1
         last = members[-1]
         tail_done = max(r.done_cycle for r in batch)
-        self._cycle = max(t, issue0 + int((inst[last] - head_inst) / p.ipc),
+        self._cycle = max(t, issue0 + ((inst[last] - head_inst) * den) // num,
                           tail_done - p.backlog)
         self._inst_prev = inst[last]
         self._idx = j
         if self.finished:
             tail = self.total_instructions - self._inst_prev
-            self._cycle += int(tail / p.ipc)
+            self._cycle += (tail * den) // num
             res.cycles = self._cycle
         return self._cycle
 
     def run_to_completion(self, memsys: MemorySystem) -> CoreResult:
         """Single-core convenience: drain the whole stream."""
         if self._n == 0:
-            self._cycle += int(self.total_instructions / self.params.ipc)
+            self._cycle += self.params.cycles_for(self.total_instructions)
             self.result.cycles = self._cycle
             self.publish_obs()
             return self.result

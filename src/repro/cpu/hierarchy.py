@@ -75,6 +75,16 @@ class MissStream:
     def demand_mask(self) -> np.ndarray:
         return self.kind <= KIND_STORE
 
+    def kind_counts(self) -> tuple[int, int, int, int]:
+        """``(n_loads, n_stores, n_writebacks, n_prefetches)``.
+
+        One vectorized bincount; the replay fast path uses this for its
+        deferred record-kind accounting instead of per-record increments.
+        """
+        counts = np.bincount(self.kind, minlength=4)
+        return (int(counts[KIND_LOAD]), int(counts[KIND_STORE]),
+                int(counts[KIND_WRITEBACK]), int(counts[KIND_PREFETCH]))
+
     def mpki(self) -> float:
         """Demand LLC misses per kilo-instruction for the whole stream."""
         if self.total_instructions == 0:

@@ -181,13 +181,27 @@ def sweep_seconds() -> dict[str, float]:
 # ---- execution -------------------------------------------------------------
 
 
+_warned_slow_path = False
+
+
 def _execute_spec(spec: RunSpec) -> RunMetrics:
     """Top-level (picklable) worker entry: simulate one run unit.
 
     The chaos probe makes this the fault site harness tests exercise
     (worker crash / hung unit / transient error); it is a no-op unless
     ``REPRO_CHAOS_DIR`` is set.
+
+    ``REPRO_FAST_PATH=0`` (inherited by worker processes) downgrades
+    every default-valued spec to the reference replay interpreter inside
+    :func:`repro.sim.run`; the results are bit-identical, only slower,
+    so cache identity is unaffected.  One warning per process makes the
+    mode visible in campaign logs.
     """
+    global _warned_slow_path
+    if os.environ.get("REPRO_FAST_PATH") == "0" and not _warned_slow_path:
+        _warned_slow_path = True
+        OBS.warn("REPRO_FAST_PATH=0: replay fast path disabled; runs use "
+                 "the reference interpreter (bit-identical, ~5x slower)")
     chaos_probe()
     return run(spec)
 

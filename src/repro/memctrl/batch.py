@@ -1,0 +1,242 @@
+"""Struct-of-arrays replay tables for the kernelized fast path.
+
+The reference replay builds a :class:`~repro.memctrl.request.MemRequest`
+object per record, routes it through ``MemorySystem.service_batch`` →
+``ChannelGroup.service_batch`` → ``ChannelController.service_batch``, and
+re-decodes its address at every layer.  For a trace replayed start to
+finish all of that is static: the channel a record lands on, its
+module-local address, its (subchannel, bank, row) decode, and its
+FR-FCFS criticality class depend only on the page mapping — never on
+timing.  :class:`ReplayTables` computes them once, vectorized, and the
+per-episode work shrinks to: snapshot row-hit bits, one stable sort of
+plain tuples, and the inlined device-timing kernel
+(:meth:`~repro.memctrl.controller.ChannelController.service_soa`).
+
+Bit-identity contract (pinned by ``tests/test_parity.py``):
+
+* The reference drains per (group, channel) sub-batch, but channels are
+  fully independent — only the *within-channel* order is semantically
+  meaningful.  A single sort keyed ``(channel, scheduler key, record
+  index)`` therefore reproduces the reference order exactly; the final
+  record index mirrors ``sorted()``'s stability.
+* Row-hit bits for the FR-FCFS key are snapshotted against bank state at
+  episode entry, exactly when the reference scheduler sorts (before any
+  access of the episode drains, and before any refresh those accesses
+  may trigger).
+* Mutable device state (bank rows/windows, bus direction and occupancy,
+  tFAW activate history, refresh horizon) is updated live — multicore
+  replays interleave cores through the same devices.  Pure counters
+  (module/controller totals, latency histograms) are deferred to
+  :meth:`ReplayTables.flush_stats` at end of replay; nothing reads them
+  mid-replay, so the deferral is observation-equivalent.
+
+The routing/decode arithmetic below intentionally mirrors
+``GroupAddressMap.route`` and ``MemoryModule.decode`` — keep them in
+lockstep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.hierarchy import KIND_STORE, KIND_WRITEBACK
+from repro.memctrl.addrmap import LINE_BITS, LINE_BYTES
+from repro.memctrl.scheduler import fcfs_order, frfcfs_order
+from repro.memctrl.system import MemorySystem
+from repro.obs.registry import OBS
+
+
+class ReplayTables:
+    """Precomputed per-record routing/decode columns for one replay.
+
+    Built lazily by :class:`~repro.cpu.core.InOrderWindowCore` on the
+    first episode (the memory system is not known at construction) and
+    keyed on the system's identity, one instance per (core, memsys).
+    """
+
+    def __init__(self, memsys: MemorySystem, groups: np.ndarray,
+                 gaddrs: np.ndarray, kind: np.ndarray):
+        self.memsys = memsys
+        self.controllers, bases = memsys.controller_layout()
+        self._group_names = memsys.group_names
+        self._ctrl_mode: list[int] = []
+        self._banks_by_ctrl = []
+        for ctrl in self.controllers:
+            if ctrl.scheduler is frfcfs_order:
+                self._ctrl_mode.append(0)
+            elif ctrl.scheduler is fcfs_order:
+                self._ctrl_mode.append(1)
+            else:
+                raise ValueError(
+                    f"fast path does not support custom scheduler "
+                    f"{ctrl.scheduler!r}; run with fast_path=False")
+            self._banks_by_ctrl.append(
+                [b for sub in ctrl.module.banks for b in sub])
+
+        n = len(gaddrs)
+        groups = np.asarray(groups, dtype=np.int64)
+        gaddrs = np.asarray(gaddrs, dtype=np.int64)
+        ctrl = np.zeros(n, dtype=np.int64)
+        sub = np.zeros(n, dtype=np.int64)
+        fbank = np.zeros(n, dtype=np.int64)
+        row = np.zeros(n, dtype=np.int64)
+        for gi, g in enumerate(memsys.groups):
+            sel = np.flatnonzero(groups == gi)
+            if not len(sel):
+                continue
+            ga = gaddrs[sel]
+            line = ga >> LINE_BITS
+            offset = ga & (LINE_BYTES - 1)
+            amap = g.addrmap
+            nch = amap.n_channels
+            if amap._pow2 and nch > 1:
+                upper = line >> amap._k
+                ch = (line & (nch - 1)) ^ ((upper ^ (upper >> 3)
+                                            ^ (upper >> 6)) & (nch - 1))
+                local = (upper << LINE_BITS) | offset
+            else:
+                ch = line % nch
+                local = ((line // nch) << LINE_BITS) | offset
+            mod = g.modules[0]
+            dline = local >> mod._col_bits
+            sb = dline & mod._sub_mask
+            dline2 = dline >> mod._sub_bits
+            bk = dline2 & mod._bank_mask
+            ctrl[sel] = bases[gi] + ch
+            sub[sel] = sb
+            fbank[sel] = sb * g.timing.n_banks + bk
+            row[sel] = (dline2 >> mod._bank_bits) % g.timing.n_rows
+        kind = np.asarray(kind, dtype=np.int64)
+        demand = kind <= KIND_STORE
+        write = (kind == KIND_STORE) | (kind == KIND_WRITEBACK)
+        # FR-FCFS criticality: demand read 0, demand write 1, background 2.
+        klass = np.where(demand, np.where(write, 1, 0), 2)
+
+        self._ctrl_np = ctrl
+        self._demand_np = demand
+        self._write_np = write
+        # Hot-loop columns as plain-int lists (one tolist() each; list
+        # indexing beats numpy scalar extraction ~10x in the kernel).
+        self.ctrl_l = ctrl.tolist()
+        self.grp_l = groups.tolist()
+        self.sub_l = sub.tolist()
+        self.fbank_l = fbank.tolist()
+        self.row_l = row.tolist()
+        self.gaddr_l = gaddrs.tolist()
+        self.write_l = write.tolist()
+        self.klass_l = klass.tolist()
+        # Per-record outputs, filled by service_soa, read at finalize.
+        self.done_l = [0] * n
+        self.queue_l = [0] * n
+        self.service_l = [0] * n
+        self.hit_l = [False] * n
+        self.bb_l = [0] * n
+        self._flushed = False
+
+    # ---- episode drain ----------------------------------------------------------
+
+    def drain_episode(self, s: int, e: int, issue0: int,
+                      off: list[int]) -> tuple[int, int]:
+        """Serve records [s, e) issued at ``issue0 + off[j]``.
+
+        Returns ``(max done over demand loads, max done over all
+        records)`` — the two quantities the core's cycle update needs.
+        """
+        ctrl_l = self.ctrl_l
+        controllers = self.controllers
+        if e - s == 1:
+            # Singleton episodes skip the sort, like the reference skips
+            # the scheduler for len-1 batches.
+            j = s
+            lmax, dmax = controllers[ctrl_l[j]].service_soa(
+                self, ((issue0 + off[j], j),))
+        else:
+            klass_l = self.klass_l
+            row_l = self.row_l
+            fbank_l = self.fbank_l
+            gaddr_l = self.gaddr_l
+            mode = self._ctrl_mode
+            banks_by = self._banks_by_ctrl
+            keyed = []
+            ap = keyed.append
+            for j in range(s, e):
+                c = ctrl_l[j]
+                issue = issue0 + off[j]
+                if mode[c] == 0:
+                    bank = banks_by[c][fbank_l[j]]
+                    ap((c, klass_l[j],
+                        0 if bank.open_row == row_l[j] else 1,
+                        issue, gaddr_l[j], issue, j))
+                else:
+                    ap((c, issue, gaddr_l[j], 0, 0, issue, j))
+            keyed.sort()
+            lmax = dmax = -(1 << 62)
+            lo = 0
+            n = len(keyed)
+            while lo < n:
+                c = keyed[lo][0]
+                hi = lo + 1
+                while hi < n and keyed[hi][0] == c:
+                    hi += 1
+                l2, d2 = controllers[c].service_soa(self, keyed[lo:hi])
+                if l2 > lmax:
+                    lmax = l2
+                if d2 > dmax:
+                    dmax = d2
+                lo = hi
+        if OBS.enabled:
+            OBS.add("memsys.batches")
+            OBS.add("memsys.requests", e - s)
+            grp_l = self.grp_l
+            gcounts: dict[int, int] = {}
+            for j in range(s, e):
+                g = grp_l[j]
+                gcounts[g] = gcounts.get(g, 0) + 1
+            for g, cnt in gcounts.items():
+                OBS.add(f"memsys.group.{self._group_names[g]}.requests", cnt)
+        return lmax, dmax
+
+    # ---- deferred statistics ----------------------------------------------------
+
+    def flush_stats(self) -> None:
+        """Fold the per-record outputs into module/controller counters.
+
+        Called once, at end of replay, per (core, memsys) table.  Exact
+        integer aggregation throughout (int64 sums, no float weights).
+        Assumes device timing did not change mid-replay (fault derating
+        happens before replay starts).
+        """
+        if self._flushed:
+            return
+        self._flushed = True
+        done = np.asarray(self.done_l, dtype=np.int64)
+        queue = np.asarray(self.queue_l, dtype=np.int64)
+        service = np.asarray(self.service_l, dtype=np.int64)
+        hit = np.asarray(self.hit_l, dtype=bool)
+        bb = np.asarray(self.bb_l, dtype=np.int64)
+        ctrl = self._ctrl_np
+        write = self._write_np
+        demand = self._demand_np
+        for ci, c in enumerate(self.controllers):
+            sel = np.flatnonzero(ctrl == ci)
+            cnt = len(sel)
+            if not cnt:
+                continue
+            m = c.module
+            n_writes = int(write[sel].sum())
+            m.n_accesses += cnt
+            m.n_row_hits += int(hit[sel].sum())
+            m.n_writes += n_writes
+            m.n_reads += cnt - n_writes
+            m.bus_busy_cycles += m.timing.transfer_cycles(c.line_bytes) * cnt
+            m.bank_busy_cycles += int(bb[sel].sum())
+            m.bytes_transferred += c.line_bytes * cnt
+            done_max = int(done[sel].max())
+            if done_max > m.last_done_cycle:
+                m.last_done_cycle = done_max
+            c.n_served += cnt
+            c.total_queue_cycles += int(queue[sel].sum())
+            c.total_service_cycles += int(service[sel].sum())
+            dsel = sel[demand[sel]]
+            if len(dsel):
+                c.latency_hist.record_many(queue[dsel] + service[dsel])

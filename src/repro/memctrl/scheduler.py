@@ -27,9 +27,19 @@ def frfcfs_order(module: MemoryModule, batch: Sequence[MemRequest]) -> list[MemR
     Criticality classes: demand loads (the core is waiting), then demand
     stores (buffered but MSHR-held), then writebacks (pure background
     drain).  Within each class, open-row hits jump ahead of older row
-    misses.  Row-hit status is evaluated against the module's *current*
-    bank state.  Ties keep issue order, so the policy degrades to FCFS on
-    a pattern with no locality.
+    misses.  Ties keep issue order, so the policy degrades to FCFS on a
+    pattern with no locality.
+
+    Row-hit status is a deliberate *snapshot* policy: every request in
+    the batch is classified against the bank state as it stands when the
+    batch arrives, before any request drains.  A later request that
+    targets the row a preceding request in the same batch is about to
+    open still sorts as a miss (and vice versa: a "hit" may find its row
+    closed by an intervening conflict by the time it is served).  Real
+    FR-FCFS re-evaluates per scheduling slot; the batch model pays the
+    sort once.  The SoA fast path snapshots at the same instant —
+    ``tests/test_memctrl.py`` pins the semantics so the kernelized
+    drain cannot silently change it.
     """
     def key(req: MemRequest) -> tuple[int, int, int, int]:
         sub, bank_i, row = module.decode(req.local_addr)

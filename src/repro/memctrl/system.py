@@ -101,6 +101,21 @@ class MemorySystem:
     def capacity_bytes(self) -> int:
         return sum(g.capacity_bytes for g in self.groups)
 
+    def controller_layout(self) -> tuple[list[ChannelController], list[int]]:
+        """Flat controller list + per-group base offsets.
+
+        The SoA replay kernel (``repro.memctrl.batch``) addresses every
+        channel in the system by one flat index ``bases[group] +
+        channel``; bases follow group declaration order, matching
+        :attr:`groups`.
+        """
+        flat: list[ChannelController] = []
+        bases: list[int] = []
+        for g in self.groups:
+            bases.append(len(flat))
+            flat.extend(g.controllers)
+        return flat, bases
+
     def describe(self) -> str:
         parts = [
             f"{g.name}: {g.n_channels}x{g.modules[0].capacity_bytes >> 20} MiB "

@@ -56,15 +56,30 @@ class BankState:
         Row hits pipeline: the bank is busy only one column-command slot
         (tCCD), so back-to-back hits stream at burst rate while each
         datum still takes tCL to appear.  Row changes pay precharge (if a
-        row is open) + activate, and activates honour the tRC window.
+        row is open) + activate; the precharge may not start until tRAS
+        after the row's activate, and activates honour the tRC window.
+        (In analog time tRC == tRAS + tRP by construction, but the
+        integer-cycle roundings of tRAS and tRP can sum to more than the
+        rounding of tRC — derated or custom parts hit this — so both
+        guards are enforced independently.)
+
+        NOTE: :meth:`repro.memctrl.controller.ChannelController
+        .service_soa` inlines this arithmetic on its fast path; keep the
+        two in lockstep (the parity suite in ``tests/test_parity.py``
+        pins the equivalence).
         """
         start = max(start, self.ready_at)
         if self.open_row == row:
             done = start + timing.tCL
             self.ready_at = start + timing.tCCD
             return done
-        pre = timing.tRP if self.open_row is not None else 0
-        act = max(start + pre, self.last_activate + timing.tRC)
+        if self.open_row is not None:
+            # Precharge may not begin until tRAS after the last activate.
+            pre_start = max(start, self.last_activate + timing.tRAS)
+            act = max(pre_start + timing.tRP,
+                      self.last_activate + timing.tRC)
+        else:
+            act = max(start, self.last_activate + timing.tRC)
         self.last_activate = act
         self.open_row = row
         done = act + timing.tRCD + timing.tCL

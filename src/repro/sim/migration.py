@@ -62,7 +62,7 @@ def run_single_migration(app_name: str, config: SystemConfig,
 
     # Compute tail after the last miss (the per-slice replays add none).
     params = core_params or CoreParams()
-    cycle += int((stream.total_instructions - inst_prev) / params.ipc)
+    cycle += params.cycles_for(stream.total_instructions - inst_prev)
     total = _merge_results(results, cycle, stream.total_instructions)
     metrics = collect_metrics(config.name, "migration", app_name,
                               [total], memsys)

@@ -32,7 +32,8 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
                thresholds: Thresholds | None = None,
                profile_accesses: int | None = None,
                core_params: CoreParams | None = None,
-               faults: FaultPlan | None = None) -> RunMetrics:
+               faults: FaultPlan | None = None,
+               fast_path: bool | None = None) -> RunMetrics:
     """Run a 4-app workload set on a fresh instance of ``config``.
 
     Internal driver behind :func:`repro.sim.run`; the deprecated
@@ -66,7 +67,7 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
                                   layouts=layouts)
         cores = [
             InOrderWindowCore(s, plan.groups[i], plan.gaddrs[i],
-                              core_params, core_id=i)
+                              core_params, core_id=i, fast_path=fast_path)
             for i, s in enumerate(streams)
         ]
 
@@ -89,6 +90,7 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
                         workload=workload.name, thresholds=thresholds,
                         faults=faults)
         meta["placement"] = plan.stats.to_dict()
+        meta["fast_path"] = cores[0].fast_path if cores else True
         return collect_metrics(config.name, policy_name, workload.name,
                                results, memsys, meta=meta)
 

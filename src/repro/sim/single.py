@@ -95,11 +95,14 @@ def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
                 thresholds: Thresholds | None = None,
                 profile_accesses: int | None = None,
                 core_params: CoreParams | None = None,
-                faults: FaultPlan | None = None) -> RunMetrics:
+                faults: FaultPlan | None = None,
+                fast_path: bool | None = None) -> RunMetrics:
     """Run one application on a fresh instance of ``config``.
 
     Internal driver behind :func:`repro.sim.run`; the deprecated
-    :func:`run_single` alias forwards here.
+    :func:`run_single` alias forwards here.  ``fast_path`` follows the
+    :class:`~repro.cpu.core.InOrderWindowCore` convention (``None`` =
+    process default).
     """
     with OBS.span(f"run.{app_name}.{policy_name}", system=config.name):
         stream, _ = filtered_stream(app_name, input_name, n_accesses)
@@ -119,12 +122,13 @@ def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
                                   layouts=[layout])
         with OBS.span("core_replay", app=app_name):
             core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0],
-                                     core_params)
+                                     core_params, fast_path=fast_path)
             result = core.run_to_completion(memsys)
         meta = run_meta(config=config, policy=policy_name,
                         workload=app_name, thresholds=thresholds,
                         faults=faults)
         meta["placement"] = plan.stats.to_dict()
+        meta["fast_path"] = core.fast_path
         return collect_metrics(config.name, policy_name, app_name,
                                [result], memsys, meta=meta)
 

@@ -69,6 +69,15 @@ class RunSpec:
             or ``None`` for a clean run.  Part of the canonical form, so
             fault runs never share cache entries with clean runs — while
             clean specs keep their pre-fault-era keys.
+        fast_path: Replay engine selector.  ``True`` (the default) uses
+            the kernelized SoA replay, ``False`` forces the per-record
+            reference interpreter.  The two are bit-identical (pinned by
+            ``tests/test_parity.py``), so the flag enters the canonical
+            form only when *off* — every default spec keeps the exact
+            cache key it had before the fast path existed.  The
+            ``REPRO_FAST_PATH=0`` environment variable downgrades
+            default-valued specs process-wide (debugging kill switch)
+            without touching cache identity.
     """
 
     workload: str
@@ -79,6 +88,7 @@ class RunSpec:
     thresholds: Thresholds | None = None
     seed: int = ROOT_SEED
     faults: FaultPlan | None = None
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.config not in ALL_SYSTEMS:
@@ -141,6 +151,11 @@ class RunSpec:
         # warm across the upgrade).
         if self.faults is not None:
             doc["faults"] = self.faults.canonical()
+        # Same key-stability rule: the reference interpreter produces the
+        # same bits, but a forced-reference run is a distinct request, so
+        # only the non-default value is serialized.
+        if not self.fast_path:
+            doc["fast_path"] = False
         return doc
 
     def key(self) -> str:
@@ -173,14 +188,19 @@ def run(spec: RunSpec) -> RunMetrics:
             f"spec.seed={spec.seed:#x} differs from the process root seed "
             f"{ROOT_SEED:#x}; re-seeding requires changing "
             f"repro.util.rng.ROOT_SEED before building any traces")
+    # True defers to the process default (REPRO_FAST_PATH kill switch);
+    # False is an explicit forced-reference request.
+    fast = None if spec.fast_path else False
     if spec.is_multi:
         return _run_multi(spec.workload, spec.system_config, spec.policy,
                           input_name=spec.input_name,
                           n_accesses=spec.n_accesses,
                           thresholds=spec.thresholds,
-                          faults=spec.faults)
+                          faults=spec.faults,
+                          fast_path=fast)
     return _run_single(spec.workload, spec.system_config, spec.policy,
                        input_name=spec.input_name,
                        n_accesses=spec.n_accesses,
                        thresholds=spec.thresholds,
-                       faults=spec.faults)
+                       faults=spec.faults,
+                       fast_path=fast)

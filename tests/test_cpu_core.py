@@ -151,3 +151,45 @@ class TestStepping:
     def test_max_overlap_property(self):
         assert CoreParams(mshr=20, lq_size=32).max_overlap == 20
         assert CoreParams(mshr=40, lq_size=32).max_overlap == 32
+
+
+class TestFractionalIPC:
+    """Retire-gap arithmetic must be exact for non-integer IPC.
+
+    ``ipc=0.1`` is stored as the nearest binary double, so the old
+    ``int(gap / ipc)`` silently lost cycles (``int(3 / 0.1) == 29``).
+    ``CoreParams.ipc_ratio`` recovers the intended rational once and all
+    gap math is integer from there on."""
+
+    def test_cycles_for_is_exact(self):
+        p = CoreParams(ipc=0.1)
+        assert p.ipc_ratio == (1, 10)
+        assert p.cycles_for(3) == 30  # int(3 / 0.1) gives 29
+        assert p.cycles_for(7) == 70
+        assert CoreParams(ipc=0.3).cycles_for(3) == 10
+        assert CoreParams(ipc=1.5).cycles_for(3) == 2
+        assert CoreParams().cycles_for(123) == 123
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_first_issue_uses_exact_gap(self, fast):
+        s = _stream([3])
+        groups, gaddrs = _translate(s)
+        core = InOrderWindowCore(s, groups, gaddrs, CoreParams(ipc=0.1),
+                                 fast_path=fast)
+        # 3 instructions at 0.1 IPC = exactly 30 cycles, not 29.
+        assert core.peek_next_issue() == 30
+
+    def test_pure_compute_run_is_exact(self):
+        r = run(_stream([], total=7), CoreParams(ipc=0.1))
+        assert r.cycles == 70
+
+    def test_fractional_gaps_accumulate_exactly(self):
+        """Three episodes with 3-instruction gaps at 0.1 IPC: each gap
+        contributes exactly 30 cycles of compute, so total cycles equal
+        the hand-computed compute time plus the measured memory time."""
+        s = _stream([3, 6, 9], dep=[False, True, True], total=9)
+        r = run(s, CoreParams(ipc=0.1))
+        # Fully serial chain: every episode is one load, so total time
+        # decomposes exactly into 3 gaps of 30 cycles plus the measured
+        # memory time.  The old float arithmetic gave 29-cycle gaps.
+        assert r.cycles == 90 + r.mem_access_cycles

@@ -106,6 +106,30 @@ class TestSchedulers:
         assert SCHEDULERS["frfcfs"] is frfcfs_order
         assert SCHEDULERS["fcfs"] is fcfs_order
 
+    def test_frfcfs_row_hit_is_a_batch_snapshot(self):
+        """Hit/miss classification is frozen when the batch arrives: a
+        request targeting the row an earlier same-batch request is about
+        to open still sorts — and pays — as a miss.  Pins the snapshot
+        policy documented on :func:`frfcfs_order`, which the SoA fast
+        path reproduces."""
+        m = MemoryModule(DDR3, 16 * MIB)
+        row_stride = (DDR3.effective_row_bytes * DDR3.n_banks
+                      * DDR3.n_subchannels)
+        b = _req(7 * row_stride, issue=0)        # row 7
+        d = _req(9 * row_stride, issue=3)        # row 9, same bank
+        a = _req(7 * row_stride + 64, issue=5)   # row 7 again
+        assert [m.decode(r.local_addr) for r in (b, d, a)] == [
+            (0, 0, 7), (0, 0, 9), (0, 0, 7)]
+        # Every bank is closed at batch arrival, so the snapshot sorts
+        # all three as misses and pure issue order wins: A does NOT jump
+        # ahead of D to catch the row B is about to open.
+        assert frfcfs_order(m, [a, d, b]) == [b, d, a]
+        ChannelController(m).service_batch([a, d, b])
+        # Served B, D, A: B opens row 7, D closes it for row 9, A pays a
+        # full conflict reopening row 7 — no access was a row hit.
+        assert [r.row_hit for r in (b, d, a)] == [False, False, False]
+        assert b.done_cycle < d.done_cycle < a.done_cycle
+
 
 class TestChannelController:
     def test_batch_fills_request_fields(self):

@@ -1,5 +1,7 @@
 """Tests for the bank state machine and the memory module model."""
 
+import dataclasses
+
 import pytest
 
 from repro.memdev.bank import BankState
@@ -73,6 +75,25 @@ class TestBankState:
             done = b.service(DDR3, row, i * 3)
             assert done >= last
             last = done
+
+    def test_conflict_precharge_waits_for_tras(self):
+        """The precharge of a row conflict may not begin before tRAS has
+        elapsed since the row's activate — even when that pushes the next
+        activate past the plain tRC window.  Integer-cycle rounding can
+        make tRAS + tRP exceed tRC (derated or custom parts), which is
+        exactly when the two guards diverge."""
+        t = dataclasses.replace(DDR3, tRAS_ns=5.5, tRC_ns=8.0,
+                                tRCD_ns=2.0)
+        assert (t.tRAS, t.tRP, t.tRC) == (6, 3, 8)
+        assert t.tRAS + t.tRP > t.tRC  # the roundings disagree
+        b = BankState()
+        b.service(t, 5, 0)  # ACT row 5 at cycle 0
+        assert b.last_activate == 0
+        done = b.service(t, 6, 0)  # conflict; bank ready again at 4
+        # Precharge stalls until tRAS (cycle 6); the new activate lands
+        # at 6 + tRP = 9.  The tRC window alone would have allowed 8.
+        assert b.last_activate == 9
+        assert done == 9 + t.tRCD + t.tCL
 
 
 class TestMemoryModule:
