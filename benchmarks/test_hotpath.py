@@ -1,14 +1,15 @@
-"""Replay hot-loop benchmark: kernelized fast path vs reference.
+"""Hot-loop benchmarks: kernelized fast paths vs reference loops.
 
-Times one realistic single-core replay (mcf on Heter-config1, the
-paper's flagship heterogeneous system) on both engines and asserts the
-kernelized path keeps its advantage:
+Times the two per-access Python loops that PRs 4 and 5 kernelized —
+the memory-side replay and the cache-filter front end — on both engines
+and asserts each kernel keeps its advantage:
 
 * results must be bit-identical (cheap smoke on top of the exhaustive
-  ``tests/test_parity.py``);
+  ``tests/test_parity.py`` / ``tests/test_filter_parity.py``);
 * the speedup must not regress more than 15% against the committed
-  baseline in ``hotpath_baseline.json`` (and never below the 5x floor
-  the fast path was built to clear).
+  baselines in ``hotpath_baseline.json`` / ``filter_baseline.json``
+  (and never below the floors the fast paths were built to clear:
+  5x for replay, 4x for filtering).
 
 The timed region covers ``InOrderWindowCore`` construction *plus* the
 full replay — episode segmentation happens at construction on the fast
@@ -33,7 +34,10 @@ import json
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.cpu.core import InOrderWindowCore
+from repro.cpu.hierarchy import CacheHierarchy
 from repro.moca.allocation import HomogeneousPolicy, plan_placement
 from repro.sim.config import ALL_SYSTEMS
 from repro.sim.single import filtered_stream
@@ -42,6 +46,8 @@ from repro.workloads.inputs import REF, build_app_trace
 HERE = Path(__file__).parent
 BASELINE_PATH = HERE / "hotpath_baseline.json"
 RESULT_PATH = HERE / "BENCH_hotpath.json"
+FILTER_BASELINE_PATH = HERE / "filter_baseline.json"
+FILTER_RESULT_PATH = HERE / "BENCH_filter.json"
 
 APP = "mcf"
 CONFIG = "Heter-config1"
@@ -108,3 +114,50 @@ def test_hotpath_speedup_holds():
         f"fast-path speedup regressed: measured {speedup:.2f}x, "
         f"floor {floor:.2f}x (baseline {baseline['speedup']}x - 15%); "
         f"see {RESULT_PATH}")
+
+
+def test_filter_speedup_holds():
+    """Cache-filter kernel vs reference loop at default fidelity."""
+    trace = build_app_trace(APP, REF, N_ACCESSES)
+    best: dict[bool, float] = {}
+    streams: dict[bool, tuple] = {}
+    for fast in (True, False):
+        times = []
+        for _ in range(REPEATS):
+            hierarchy = CacheHierarchy()
+            t0 = time.perf_counter()
+            result = hierarchy.filter_trace(trace, fast_path=fast)
+            times.append(time.perf_counter() - t0)
+        best[fast] = min(times)
+        streams[fast] = result
+
+    # Identity smoke (the exhaustive check lives in test_filter_parity).
+    s_k, c_k = streams[True]
+    s_r, c_r = streams[False]
+    for name in ("inst", "vline", "obj_id", "dep", "kind"):
+        assert np.array_equal(getattr(s_k, name), getattr(s_r, name)), name
+    assert c_k == c_r
+
+    speedup = best[False] / best[True]
+    doc = {
+        "workload": APP,
+        "n_accesses": N_ACCESSES,
+        "n_records": len(s_k),
+        "repeats": REPEATS,
+        "ref_seconds": round(best[False], 4),
+        "fast_seconds": round(best[True], 4),
+        "ref_accesses_per_sec": round(N_ACCESSES / best[False]),
+        "fast_accesses_per_sec": round(N_ACCESSES / best[True]),
+        "speedup": round(speedup, 2),
+    }
+    FILTER_RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nfilter: ref {doc['ref_accesses_per_sec']} acc/s, "
+          f"fast {doc['fast_accesses_per_sec']} acc/s, "
+          f"speedup {doc['speedup']}x")
+
+    baseline = json.loads(FILTER_BASELINE_PATH.read_text())
+    floor = max(4.0, 0.85 * baseline["speedup"])
+    assert speedup >= floor, (
+        f"filter-kernel speedup regressed: measured {speedup:.2f}x, "
+        f"floor {floor:.2f}x (baseline {baseline['speedup']}x - 15%); "
+        f"see {FILTER_RESULT_PATH}")

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.util.validation import check_power_of_two
 
 
@@ -114,12 +116,50 @@ class SetAssocCache:
         self.n_hits = 0
         self.n_misses = 0
 
+    def resident_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All resident lines as ``(line_addrs, dirty)`` numpy arrays.
+
+        Set-major, LRU→MRU within each set — the tag stores' iteration
+        order verbatim, so the parity harness can compare two caches'
+        full state (contents, dirtiness, *and* recency order) with one
+        ``array_equal`` per array instead of walking dicts.
+        """
+        n = sum(len(s) for s in self._sets)
+        addrs = np.empty(n, dtype=np.int64)
+        dirty = np.empty(n, dtype=bool)
+        i = 0
+        for s in self._sets:
+            for tag, d in s.items():
+                addrs[i] = tag << self._line_shift
+                dirty[i] = d
+                i += 1
+        return addrs, dirty
+
+    def contains_many(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains`: presence mask, no LRU effects.
+
+        Line numbers are globally unique (the "tag" keeps its set bits),
+        so one ``np.isin`` against the resident lines answers every
+        probe at once.
+        """
+        resident, _ = self.resident_arrays()
+        lines = np.asarray(addrs, dtype=np.int64) >> self._line_shift
+        return np.isin(lines, resident >> self._line_shift)
+
+    def install_lines(self, addrs: np.ndarray, dirty: np.ndarray) -> None:
+        """Bulk :meth:`fill` in order, discarding victims (state setup).
+
+        Replaying another cache's :meth:`resident_arrays` through this
+        rebuilds identical contents *and* LRU order, because fills
+        re-insert at MRU in iteration order.
+        """
+        for addr, d in zip(addrs.tolist(), dirty.tolist()):
+            self.fill(addr, bool(d))
+
     def flush(self) -> list[EvictedLine]:
         """Drop all lines, returning dirty victims (used at trace end)."""
-        victims = []
+        addrs, dirty = self.resident_arrays()
+        victims = [EvictedLine(int(a), True) for a in addrs[dirty]]
         for s in self._sets:
-            for tag, dirty in s.items():
-                if dirty:
-                    victims.append(EvictedLine(tag << self._line_shift, True))
             s.clear()
         return victims

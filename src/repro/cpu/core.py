@@ -166,12 +166,14 @@ def _env_fast_default() -> bool:
     """Process-wide fast-path default (``REPRO_FAST_PATH=0`` kills it).
 
     The kill switch exists so a suspect result can be re-derived on the
-    reference interpreter fleet-wide — sweeps, profiling replays, and
-    migration epochs alike — without editing any figure code.
+    reference implementations fleet-wide — sweeps, profiling replays,
+    cache filtering, and migration epochs alike — without editing any
+    figure code.  One shared switch: the cache-filter kernel
+    (:mod:`repro.cpu.filter_kernel`) reads the same variable.
     """
-    import os
+    from repro.cpu.filter_kernel import fast_path_default
 
-    return os.environ.get("REPRO_FAST_PATH", "1") != "0"
+    return fast_path_default()
 
 
 _NEG = -(1 << 62)

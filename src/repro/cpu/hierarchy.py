@@ -129,21 +129,50 @@ class CacheHierarchy:
         self.prefetcher = prefetcher
         self.n_prefetches = 0
         self._line_shift = (line_bytes - 1).bit_length()
+        #: Which engine the last ``filter_trace`` call used
+        #: ("kernel" / "reference"); feeds run provenance.
+        self.last_engine: str | None = None
 
     def filter_trace(self, trace: "AccessTrace", warmup_frac: float = 0.2,
+                     *, fast_path: bool | None = None,
                      ) -> tuple[MissStream, CacheStats]:
         """Run every access through the hierarchy.
 
         The first ``warmup_frac`` of the trace warms the caches without
         contributing statistics or miss records — the stand-in for the
         paper's fast-forward to SimPoints before measurement windows.
+        Note the boundary floors: a nonzero ``warmup_frac`` on a tiny
+        trace can yield ``int(len * frac) == 0`` warmup accesses, which
+        is *defined* to behave exactly like ``warmup_frac=0.0`` (no
+        exclusion window, instruction numbering from the trace origin).
         Writebacks of dirty L2 victims become KIND_WRITEBACK records whose
         object is resolved from the victim's address via the trace's
         object map (vectorized at the end).
+
+        ``fast_path`` selects the engine per the
+        :class:`~repro.cpu.core.InOrderWindowCore` convention: ``None``
+        defers to the process default (``REPRO_FAST_PATH``), ``False``
+        forces the reference loop.  Both engines are bit-identical
+        (pinned by ``tests/test_filter_parity.py``); hierarchies with a
+        prefetcher always use the reference loop, because runahead fills
+        break the kernel's per-set batching.
         """
         if not 0.0 <= warmup_frac < 1.0:
             raise ValueError("warmup_frac must be in [0, 1)")
         warm_until = int(len(trace) * warmup_frac)
+        from repro.cpu import filter_kernel
+
+        use_kernel = (fast_path if fast_path is not None
+                      else filter_kernel.fast_path_default())
+        if use_kernel and self.prefetcher is None:
+            self.last_engine = "kernel"
+            return filter_kernel.run_filter(trace, self, warm_until)
+        self.last_engine = "reference"
+        return self._filter_trace_reference(trace, warm_until)
+
+    def _filter_trace_reference(self, trace: "AccessTrace", warm_until: int,
+                                ) -> tuple[MissStream, CacheStats]:
+        """The retained per-access reference loop (executable spec)."""
         l1, l2 = self.l1, self.l2
         shift = self._line_shift
         # tolist() turns the numpy columns into plain ints once; iterating
@@ -163,7 +192,10 @@ class CacheHierarchy:
 
         per_object: dict[int, list[int]] = {}
         n_writebacks = 0
-        inst_offset = int(insts[warm_until - 1]) if warm_until else 0
+        # Explicit warmup boundary: warm_until == 0 — whether from
+        # warmup_frac == 0.0 or a nonzero fraction flooring to zero on a
+        # tiny trace — means no exclusion window and no offset.
+        inst_offset = int(insts[warm_until - 1]) if warm_until > 0 else 0
         # Lines brought in by the prefetcher and not yet consumed; a
         # demand hit on one advances the stream (runahead on hit).
         pf_lines: set[int] = set()

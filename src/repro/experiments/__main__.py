@@ -13,7 +13,10 @@ Simulation results are cached on disk (default ``results/.cache``,
 override with ``--cache-dir`` or ``REPRO_CACHE_DIR``; ``--no-cache``
 disables, ``--refresh`` re-simulates and overwrites), so repeating a
 campaign reuses every run whose :class:`~repro.sim.spec.RunSpec` is
-unchanged.
+unchanged.  Filtered miss streams are persisted alongside in
+``<cache-dir>/streams`` (see :mod:`repro.sim.stream_store`), so sweep
+worker processes filter each trace once per machine; ``--no-cache`` and
+``--refresh`` extend to that store too.
 
 Campaigns are resilient by default: a figure whose sweep fails
 terminally (see :mod:`repro.experiments.resilience`) is recorded as
@@ -232,10 +235,15 @@ def main(argv: list[str] | None = None) -> int:
             write_manifest(args.save, fidelity, saved, statuses=statuses)
             print(f"artefacts written to {args.save}/")
         stats = engine.cache_stats()
-        if stats is not None and (stats["hits"] or stats["misses"]):
+        if stats is not None and (stats.get("hits") or stats.get("misses")):
             print(f"[result cache: {stats['hits']} hits, "
                   f"{stats['misses']} misses, {stats['stores']} stored "
                   f"({stats['directory']})]", file=sys.stderr)
+        streams = (stats or {}).get("streams")
+        if streams is not None and (streams["hits"] or streams["misses"]):
+            print(f"[stream store: {streams['hits']} hits, "
+                  f"{streams['misses']} misses, {streams['stores']} stored "
+                  f"(hit ratio {streams['hit_ratio']:.2f})]", file=sys.stderr)
         res = engine.resilience_stats()
         if res is not None and (res["retries"] or res["timeouts"]
                                 or res["pool_breaks"]

@@ -26,8 +26,14 @@ mostly the same workload and its memoized cache-filter
 Cache selection, in priority order: an explicit :func:`configure` call
 (the CLIs' ``--cache-dir``/``--no-cache``/``--refresh`` flags), else the
 ``REPRO_CACHE_DIR`` environment variable, else no persistent cache.
-Per-phase wall times are accumulated in :func:`sweep_seconds` and land in
-the campaign manifest next to the cache hit ratio.
+:func:`configure` also wires the :mod:`repro.sim.stream_store` — the
+persistent miss-stream store that lets *worker processes* skip
+re-filtering traces the machine has already filtered — defaulting its
+directory to ``<cache-dir>/streams`` and exporting the selection via
+environment variables so spawned workers inherit it.  ``--no-cache``
+disables both; ``--refresh`` invalidates both.  Per-phase wall times are
+accumulated in :func:`sweep_seconds` and land in the campaign manifest
+next to the cache and stream-store hit ratios.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from repro.experiments.resilience import (
     run_resilient,
 )
 from repro.obs.registry import OBS
+from repro.sim import stream_store
 from repro.sim.metrics import RunMetrics
 from repro.sim.spec import RunSpec, run
 
@@ -75,6 +82,9 @@ _sweep_seconds: dict[str, float] = {}
 _retry_policy: RetryPolicy | None = None
 #: Accumulated resilience tallies across execute() calls (manifest).
 _resilience: dict = {}
+#: Environment values displaced by configure()'s stream-store export,
+#: keyed by variable name; reset() restores them.
+_stream_env_saved: dict[str, str | None] = {}
 
 
 def sweep_workers() -> int:
@@ -91,20 +101,52 @@ def sweep_workers() -> int:
 # ---- cache wiring ----------------------------------------------------------
 
 
+def _export_env(name: str, value: str | None) -> None:
+    """Set (or clear) an environment variable, remembering the original.
+
+    Worker processes inherit the environment, so this is how the parent's
+    cache flags reach ``filtered_stream`` in every worker; the first
+    displaced value per name is what :func:`reset` restores.
+    """
+    if name not in _stream_env_saved:
+        _stream_env_saved[name] = os.environ.get(name)
+    if value is None:
+        os.environ.pop(name, None)
+    else:
+        os.environ[name] = value
+
+
 def configure(directory: str | Path | None, *, refresh: bool = False,
               max_entries: int | None = None) -> ResultCache | None:
-    """Select the process-wide result cache.
+    """Select the process-wide result cache (and the miss-stream store).
 
     ``directory=None`` disables persistent caching entirely (the
     ``--no-cache`` semantics); otherwise a fresh :class:`ResultCache`
     (with fresh stats) is installed.  Returns the active cache.
+
+    The :mod:`repro.sim.stream_store` follows along: disabled with the
+    cache, otherwise rooted at ``REPRO_STREAM_STORE_DIR`` when that is
+    set (the empty string keeps it disabled) or ``<directory>/streams``,
+    with ``refresh`` carrying over.  The selection is exported through
+    the environment so sweep worker processes make the same choice.
     """
     global _cache_override
     if directory is None:
         _cache_override = None
+        stream_store.configure(None)
+        _export_env(stream_store.ENV_DIR, "")
+        _export_env(stream_store.ENV_REFRESH, None)
     else:
         _cache_override = ResultCache(directory, refresh=refresh,
                                       max_entries=max_entries)
+        env = os.environ.get(stream_store.ENV_DIR)
+        if env == "":
+            stream_store.configure(None)
+        else:
+            stream_dir = Path(env) if env else Path(directory) / "streams"
+            stream_store.configure(stream_dir, refresh=refresh)
+            _export_env(stream_store.ENV_DIR, str(stream_dir))
+            _export_env(stream_store.ENV_REFRESH, "1" if refresh else None)
     return _cache_override
 
 
@@ -150,6 +192,13 @@ def reset() -> None:
     _retry_policy = None
     _sweep_seconds.clear()
     _resilience.clear()
+    for name, value in _stream_env_saved.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+    _stream_env_saved.clear()
+    stream_store.reset()
 
 
 def active_cache() -> ResultCache | None:
@@ -166,11 +215,20 @@ def active_cache() -> ResultCache | None:
 
 
 def cache_stats() -> dict | None:
-    """Manifest-ready stats of the active cache (``None`` = no cache)."""
+    """Manifest-ready stats of the active cache (``None`` = no cache).
+
+    When the miss-stream store is also active its tallies ride along
+    under the ``"streams"`` key — the manifest's cache block then
+    reports the stream-store hit ratio next to the run-cache hit ratio.
+    """
     cache = active_cache()
     if cache is None:
         return None
-    return {"directory": str(cache.directory), **cache.stats.to_dict()}
+    stats = {"directory": str(cache.directory), **cache.stats.to_dict()}
+    streams = stream_store.stats_dict()
+    if streams is not None:
+        stats["streams"] = streams
+    return stats
 
 
 def sweep_seconds() -> dict[str, float]:
@@ -192,16 +250,18 @@ def _execute_spec(spec: RunSpec) -> RunMetrics:
     ``REPRO_CHAOS_DIR`` is set.
 
     ``REPRO_FAST_PATH=0`` (inherited by worker processes) downgrades
-    every default-valued spec to the reference replay interpreter inside
-    :func:`repro.sim.run`; the results are bit-identical, only slower,
-    so cache identity is unaffected.  One warning per process makes the
-    mode visible in campaign logs.
+    every default-valued spec to the reference replay interpreter *and*
+    the reference cache-filter loop inside :func:`repro.sim.run`; the
+    results are bit-identical, only slower, so cache identity is
+    unaffected.  One warning per process makes the mode visible in
+    campaign logs.
     """
     global _warned_slow_path
     if os.environ.get("REPRO_FAST_PATH") == "0" and not _warned_slow_path:
         _warned_slow_path = True
-        OBS.warn("REPRO_FAST_PATH=0: replay fast path disabled; runs use "
-                 "the reference interpreter (bit-identical, ~5x slower)")
+        OBS.warn("REPRO_FAST_PATH=0: fast paths disabled; runs use the "
+                 "reference replay interpreter and cache-filter loop "
+                 "(bit-identical, several times slower)")
     chaos_probe()
     return run(spec)
 

@@ -65,7 +65,8 @@ def write_manifest(directory: str | Path, fidelity: Fidelity,
 
     Besides versions/seed/fidelity this captures the sweep engine's
     per-phase wall times and — when a persistent result cache is active —
-    its hit/miss/store tallies and hit ratio, so a warm campaign is
+    its hit/miss/store tallies and hit ratio (plus, nested under
+    ``cache.streams``, the miss-stream store's), so a warm campaign is
     distinguishable from a cold one after the fact.  ``statuses`` (the
     CLI's per-figure outcome map: ``ok`` / ``failed`` / ``resumed`` plus
     wall time or error) and the engine's resilience tallies (retries,

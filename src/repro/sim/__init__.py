@@ -31,7 +31,7 @@ from repro.sim.config import (
 )
 from repro.sim.metrics import RunMetrics
 from repro.sim.spec import POLICIES, RunSpec, run
-from repro.sim.single import run_single, filtered_stream
+from repro.sim.single import run_single, filtered_stream, filter_provenance
 from repro.sim.multi import run_multi
 from repro.sim.migration import run_single_migration
 
@@ -54,6 +54,7 @@ __all__ = [
     "RunMetrics",
     "run_single",
     "filtered_stream",
+    "filter_provenance",
     "run_multi",
     "run_single_migration",
 ]

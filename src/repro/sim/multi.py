@@ -21,7 +21,7 @@ from repro.obs.provenance import run_meta
 from repro.obs.registry import OBS
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import RunMetrics, collect_metrics
-from repro.sim.single import filtered_stream, make_policy
+from repro.sim.single import filter_provenance, filtered_stream, make_policy
 from repro.workloads.inputs import REF, build_app_trace
 from repro.workloads.mixes import WorkloadMix, mix as make_mix
 
@@ -47,7 +47,7 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
         workload = make_mix(workload)
     with OBS.span(f"run.{workload.name}.{policy_name}", system=config.name,
                   n_cores=len(workload.apps)):
-        streams = [filtered_stream(a, input_name, n_accesses)[0]
+        streams = [filtered_stream(a, input_name, n_accesses, fast_path)[0]
                    for a in workload.apps]
         layouts = [build_app_trace(a, input_name, n_accesses).layout
                    for a in workload.apps]
@@ -91,6 +91,9 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
                         faults=faults)
         meta["placement"] = plan.stats.to_dict()
         meta["fast_path"] = cores[0].fast_path if cores else True
+        meta["filter"] = {
+            a: filter_provenance(a, input_name, n_accesses)
+            for a in workload.apps}
         return collect_metrics(config.name, policy_name, workload.name,
                                results, memsys, meta=meta)
 

@@ -26,29 +26,69 @@ from repro.moca.classify import Thresholds, class_letter_to_type
 from repro.moca.framework import MocaFramework
 from repro.obs.provenance import run_meta
 from repro.obs.registry import OBS
+from repro.sim import stream_store
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import RunMetrics, collect_metrics
 from repro.workloads.inputs import REF, build_app_trace
 from repro.workloads.spec import APP_CLASSES
 
+#: (app, input, n_accesses) → how its stream was obtained; feeds
+#: ``meta["filter"]`` provenance.  Keyed without ``fast_path`` because
+#: engines are bit-identical — the record says what actually happened.
+_filter_provenance: dict[tuple[str, str, int], dict] = {}
+
+
+def filter_provenance(app_name: str, input_name: str,
+                      n_accesses: int) -> dict | None:
+    """How ``filtered_stream`` obtained this key's stream, or ``None``.
+
+    ``{"engine": "kernel" | "reference" | "store", "from_store": bool}``
+    — ``"store"`` means the persistent miss-stream store supplied the
+    result and no filtering ran in this process.
+    """
+    return _filter_provenance.get((app_name, input_name, n_accesses))
+
 
 @lru_cache(maxsize=128)
-def filtered_stream(app_name: str, input_name: str,
-                    n_accesses: int) -> tuple[MissStream, CacheStats]:
+def filtered_stream(app_name: str, input_name: str, n_accesses: int,
+                    fast_path: bool | None = None,
+                    ) -> tuple[MissStream, CacheStats]:
     """Cache-filter one application input (memoized — **do not mutate**).
 
-    Every call with the same ``(app, input, length)`` key returns the
-    *same* ``(MissStream, CacheStats)`` objects, shared by every run —
+    Every call with the same key returns the *same*
+    ``(MissStream, CacheStats)`` objects, shared by every run —
     single-core, multicore, and the profiler alike.  Mutating the
     returned stream (e.g. reordering its arrays in place) would silently
     corrupt all subsequent runs in the process.  Callers needing a
     modified stream must copy first; ``tests/test_sim.py`` pins the
     shared-identity contract.
+
+    Beneath this in-process memo sits the persistent
+    :mod:`repro.sim.stream_store` (when active): a store hit skips
+    filtering entirely, and a computed result is written back so other
+    worker processes can skip it too.  Store content is engine-agnostic
+    — kernel and reference produce byte-identical streams — so
+    ``fast_path`` only selects *how* a missing entry gets computed.
     """
     with OBS.span("cache_filter", app=app_name, input=input_name,
                   n_accesses=n_accesses):
+        store = stream_store.active()
+        key = None
+        if store is not None:
+            key = stream_store.filter_key(app_name, input_name, n_accesses)
+            cached = store.get(key)
+            if cached is not None:
+                _filter_provenance[(app_name, input_name, n_accesses)] = {
+                    "engine": "store", "from_store": True}
+                return cached
         trace = build_app_trace(app_name, input_name, n_accesses)
-        return CacheHierarchy().filter_trace(trace)
+        hierarchy = CacheHierarchy()
+        result = hierarchy.filter_trace(trace, fast_path=fast_path)
+        _filter_provenance[(app_name, input_name, n_accesses)] = {
+            "engine": hierarchy.last_engine, "from_store": False}
+        if store is not None:
+            store.put(key, *result)
+        return result
 
 
 def make_policy(policy_name: str, app_names: list[str],
@@ -105,7 +145,8 @@ def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
     process default).
     """
     with OBS.span(f"run.{app_name}.{policy_name}", system=config.name):
-        stream, _ = filtered_stream(app_name, input_name, n_accesses)
+        stream, _ = filtered_stream(app_name, input_name, n_accesses,
+                                    fast_path)
         layout = build_app_trace(app_name, input_name, n_accesses).layout
         with OBS.span("placement", policy=policy_name):
             memsys = config.build()
@@ -129,6 +170,7 @@ def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
                         faults=faults)
         meta["placement"] = plan.stats.to_dict()
         meta["fast_path"] = core.fast_path
+        meta["filter"] = filter_provenance(app_name, input_name, n_accesses)
         return collect_metrics(config.name, policy_name, app_name,
                                [result], memsys, meta=meta)
 

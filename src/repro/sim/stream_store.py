@@ -1,0 +1,328 @@
+"""Persistent content-addressed store for filtered miss streams.
+
+Cache filtering is the sweep front end: every worker process needs the
+``(MissStream, CacheStats)`` of each ``(app, input, n_accesses)`` it
+replays, and the in-process ``lru_cache`` on
+:func:`repro.sim.single.filtered_stream` cannot cross the
+``ProcessPoolExecutor`` boundary.  This store persists filtered results
+on disk — one ``numpy.savez_compressed`` entry per key, named by the
+SHA-256 of the canonical key document — so each trace is filtered once
+per *machine* instead of once per process, the same
+profile-once/reuse-everywhere economy MOCA's offline profiling pass is
+built around.
+
+The key covers everything that determines the stream: application,
+input, trace length, the full hierarchy geometry (sizes, ways, line
+size), the warmup fraction, and the trace RNG root.  The filter
+*engine* is deliberately not part of the key — kernel and reference
+produce byte-identical streams (``tests/test_filter_parity.py``), so
+entries written by either are interchangeable.
+
+Robustness rules mirror :class:`repro.experiments.cache.ResultCache`:
+atomic writes (temp file + ``os.replace``), corrupt entries warn via
+``OBS.warn`` and are deleted, entries from other format versions are
+dropped silently, and ``refresh`` bypasses reads while still
+overwriting.  Module-level wiring follows the result-cache precedence:
+an explicit :func:`configure` call, else ``REPRO_STREAM_STORE_DIR``
+(empty string = explicitly disabled), else ``<REPRO_CACHE_DIR>/streams``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.cpu.hierarchy import CacheHierarchy, CacheStats, MissStream
+from repro.obs.registry import OBS
+from repro.util.rng import ROOT_SEED
+
+__all__ = [
+    "ENV_DIR",
+    "ENV_REFRESH",
+    "STREAM_STORE_VERSION",
+    "StreamStore",
+    "StreamStoreStats",
+    "active",
+    "configure",
+    "filter_key",
+    "key_digest",
+    "reset",
+    "stats_dict",
+]
+
+#: On-disk entry format; entries from other versions are ignored.
+STREAM_STORE_VERSION = 1
+
+#: Environment selection (inherited by sweep worker processes).
+ENV_DIR = "REPRO_STREAM_STORE_DIR"
+ENV_REFRESH = "REPRO_STREAM_REFRESH"
+
+_ARRAYS = (("inst", np.int64), ("vline", np.int64), ("obj_id", np.int32),
+           ("dep", np.bool_), ("kind", np.int8))
+
+
+def filter_key(app_name: str, input_name: str, n_accesses: int, *,
+               hierarchy: CacheHierarchy | None = None,
+               warmup_frac: float = 0.2) -> dict:
+    """Canonical key document for one filtered stream.
+
+    ``hierarchy=None`` keys the stock geometry (the one
+    ``filtered_stream`` builds); passing a hierarchy keys its actual
+    sizes so experiments with non-Table-I caches never alias.
+    """
+    h = hierarchy if hierarchy is not None else CacheHierarchy()
+    return {
+        "schema": "miss-stream",
+        "app": app_name,
+        "input": input_name,
+        "n_accesses": int(n_accesses),
+        "l1_size": h.l1.size_bytes,
+        "l1_assoc": h.l1.assoc,
+        "l2_size": h.l2.size_bytes,
+        "l2_assoc": h.l2.assoc,
+        "line_bytes": h.line_bytes,
+        "warmup_frac": warmup_frac,
+        "seed": ROOT_SEED,
+    }
+
+
+def key_digest(key: dict) -> str:
+    """SHA-256 of the canonical JSON serialization of ``key``."""
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class StreamStoreStats:
+    """Per-instance tallies; ``hit_ratio`` feeds the sweep manifest."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "hit_ratio": round(self.hit_ratio, 6),
+        }
+
+
+class StreamStore:
+    """Content-addressed ``filter_key -> (MissStream, CacheStats)`` store.
+
+    Args:
+        directory: Store root; created lazily on the first store.
+        refresh: When true, :meth:`get` always misses (forcing
+            re-filtering) while :meth:`put` still overwrites — the
+            ``--refresh`` CLI semantics extended to streams.
+    """
+
+    def __init__(self, directory: str | Path, *, refresh: bool = False):
+        self.directory = Path(directory)
+        self.refresh = refresh
+        self.stats = StreamStoreStats()
+
+    def path_for(self, key: dict) -> Path:
+        return self.directory / f"{key_digest(key)}.npz"
+
+    # ---- read --------------------------------------------------------------
+
+    def get(self, key: dict) -> tuple[MissStream, CacheStats] | None:
+        """Stored stream for ``key``, or ``None`` (= filter the trace).
+
+        Every hit returns *fresh* arrays, so the in-process identity
+        contract stays with ``filtered_stream``'s ``lru_cache`` — two
+        processes sharing a store never share memory.
+        """
+        path = self.path_for(key)
+        if self.refresh:
+            self._miss(refresh=True)
+            return None
+        try:
+            with np.load(path) as data:
+                doc = json.loads(bytes(data["meta"]).decode())
+                if doc.get("version") != STREAM_STORE_VERSION:
+                    # Another (older/newer) format after an upgrade —
+                    # drop it quietly and re-filter.
+                    path.unlink(missing_ok=True)
+                    OBS.add("stream_store.stale")
+                    self._miss()
+                    return None
+                arrays = {name: data[name] for name, _ in _ARRAYS}
+            result = self._decode(doc, arrays)
+        except (FileNotFoundError,):
+            self._miss()
+            return None
+        except (ValueError, KeyError, TypeError, OSError, EOFError,
+                zipfile.BadZipFile) as exc:
+            OBS.warn(f"stream store: corrupt entry {path.name} "
+                     f"({type(exc).__name__}: {exc}); re-filtering")
+            OBS.add("stream_store.corrupt")
+            self.stats.corrupt += 1
+            path.unlink(missing_ok=True)
+            self._miss()
+            return None
+        self.stats.hits += 1
+        OBS.add("stream_store.hit")
+        return result
+
+    @staticmethod
+    def _decode(doc: dict, arrays: dict) -> tuple[MissStream, CacheStats]:
+        n = len(arrays["inst"])
+        for name, dtype in _ARRAYS:
+            arr = arrays[name]
+            if arr.dtype != dtype or arr.ndim != 1 or len(arr) != n:
+                raise ValueError(
+                    f"column {name!r} has shape {arr.shape} dtype "
+                    f"{arr.dtype} (want ({n},) {np.dtype(dtype)})")
+        stats_doc = doc["stats"]
+        stream = MissStream(
+            inst=arrays["inst"], vline=arrays["vline"],
+            obj_id=arrays["obj_id"], dep=arrays["dep"],
+            kind=arrays["kind"],
+            total_instructions=int(doc["total_instructions"]),
+        )
+        stats = CacheStats(
+            total_instructions=int(stats_doc["total_instructions"]),
+            l1_hits=int(stats_doc["l1_hits"]),
+            l1_misses=int(stats_doc["l1_misses"]),
+            l2_hits=int(stats_doc["l2_hits"]),
+            l2_misses=int(stats_doc["l2_misses"]),
+            n_writebacks=int(stats_doc["n_writebacks"]),
+            # JSON round-trip preserves list order, so first-touch
+            # iteration order survives; keys come back as ints.
+            per_object={int(obj): [int(acc), int(miss)]
+                        for obj, acc, miss in stats_doc["per_object"]},
+        )
+        return stream, stats
+
+    def _miss(self, refresh: bool = False) -> None:
+        self.stats.misses += 1
+        OBS.add("stream_store.refresh_bypass" if refresh
+                else "stream_store.miss")
+
+    # ---- write -------------------------------------------------------------
+
+    def put(self, key: dict, stream: MissStream,
+            stats: CacheStats) -> Path:
+        """Store one filtered result atomically; returns the entry path."""
+        from repro import __version__
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        doc = {
+            "version": STREAM_STORE_VERSION,
+            "repro_version": __version__,
+            "key": key,
+            "total_instructions": stream.total_instructions,
+            "stats": {
+                "total_instructions": stats.total_instructions,
+                "l1_hits": stats.l1_hits,
+                "l1_misses": stats.l1_misses,
+                "l2_hits": stats.l2_hits,
+                "l2_misses": stats.l2_misses,
+                "n_writebacks": stats.n_writebacks,
+                "per_object": [[obj, acc, miss] for obj, (acc, miss)
+                               in stats.per_object.items()],
+            },
+        }
+        # savez appends ".npz" unless the name already ends with it —
+        # keep the temp name an .npz so os.replace moves the real file.
+        tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+        np.savez_compressed(
+            tmp,
+            meta=np.frombuffer(json.dumps(doc).encode(), dtype=np.uint8),
+            **{name: getattr(stream, name) for name, _ in _ARRAYS})
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        OBS.add("stream_store.store")
+        return path
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.npz"))
+
+
+# ---- module-level wiring ---------------------------------------------------
+
+_UNSET = object()
+#: Explicit configuration: a StreamStore, None (= disabled), or _UNSET
+#: (= fall back to the environment).
+_override: object = _UNSET
+_env_store: StreamStore | None = None
+
+
+def configure(directory: str | Path | None, *,
+              refresh: bool = False) -> StreamStore | None:
+    """Select the process-wide stream store.
+
+    ``directory=None`` disables the store entirely (the ``--no-cache``
+    semantics); otherwise a fresh :class:`StreamStore` (with fresh
+    stats) is installed.  Returns the active store.
+    """
+    global _override
+    if directory is None:
+        _override = None
+    else:
+        _override = StreamStore(directory, refresh=refresh)
+    return _override  # type: ignore[return-value]
+
+
+def reset() -> None:
+    """Drop explicit configuration; the environment decides again."""
+    global _override, _env_store
+    _override = _UNSET
+    _env_store = None
+
+
+def active() -> StreamStore | None:
+    """The store ``filtered_stream`` will consult, or ``None``.
+
+    Precedence: explicit :func:`configure` call, else
+    ``REPRO_STREAM_STORE_DIR`` (the empty string means *explicitly
+    disabled* — how a ``--no-cache`` parent shields its workers), else
+    ``<REPRO_CACHE_DIR>/streams`` so one ``--cache-dir`` flag keeps
+    both caches side by side.
+    """
+    global _env_store
+    if _override is not _UNSET:
+        return _override  # type: ignore[return-value]
+    env = os.environ.get(ENV_DIR)
+    if env is not None:
+        if env == "":
+            return None
+        directory = Path(env)
+    else:
+        base = os.environ.get("REPRO_CACHE_DIR")
+        if not base:
+            return None
+        directory = Path(base) / "streams"
+    refresh = os.environ.get(ENV_REFRESH) == "1"
+    if (_env_store is None or _env_store.directory != directory
+            or _env_store.refresh != refresh):
+        _env_store = StreamStore(directory, refresh=refresh)
+    return _env_store
+
+
+def stats_dict() -> dict | None:
+    """Manifest-ready stats of the active store (``None`` = no store)."""
+    store = active()
+    if store is None:
+        return None
+    return {"directory": str(store.directory), **store.stats.to_dict()}

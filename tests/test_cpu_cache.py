@@ -115,6 +115,78 @@ class TestSetAssocCache:
             SetAssocCache(64, 128)  # smaller than one set
 
 
+class TestResidentAccessors:
+    """The vector-friendly state accessors the parity harness uses."""
+
+    def test_resident_arrays_orders_lru_to_mru(self):
+        c = SetAssocCache(2 * 64, 2, line_bytes=64)  # 1 set, 2 ways
+        c.access(0, False)
+        c.access(64, False)
+        c.access(0, True)           # line 0 -> MRU (and dirty)
+        addrs, dirty = c.resident_arrays()
+        assert addrs.tolist() == [64, 0]    # LRU first
+        assert dirty.tolist() == [False, True]
+
+    def test_resident_arrays_set_major(self):
+        c = SetAssocCache(4 * 64, 2, line_bytes=64)  # 2 sets
+        c.access(64, True)          # set 1
+        c.access(0, False)          # set 0
+        addrs, dirty = c.resident_arrays()
+        assert addrs.tolist() == [0, 64]    # set order, not access order
+        assert dirty.tolist() == [False, True]
+
+    def test_resident_arrays_empty(self):
+        addrs, dirty = SetAssocCache(4096, 2).resident_arrays()
+        assert len(addrs) == 0 and len(dirty) == 0
+        assert addrs.dtype == np.int64 and dirty.dtype == bool
+
+    def test_contains_many_matches_scalar_contains(self):
+        c = SetAssocCache(4096, 2)
+        rng = stream("tests", "contains_many")
+        touched = rng.integers(0, 16 * KIB, size=64)
+        for a in touched.tolist():
+            c.access(a, False)
+        probes = np.arange(0, 16 * KIB, 64, dtype=np.int64) + 3
+        mask = c.contains_many(probes)
+        assert mask.tolist() == [c.contains(int(a)) for a in probes]
+
+    def test_contains_many_no_lru_side_effects(self):
+        c = SetAssocCache(2 * 64, 2, line_bytes=64)
+        c.access(0, False)
+        c.access(64, False)
+        c.contains_many(np.array([0]))      # must NOT touch line 0 to MRU
+        _, evicted = c.access(128, False)
+        assert evicted.line_addr == 0       # still the LRU victim
+
+    def test_install_lines_round_trips_state(self):
+        src = SetAssocCache(4 * KIB, 4)
+        rng = stream("tests", "install")
+        for a, w in zip(rng.integers(0, 32 * KIB, size=200).tolist(),
+                        (rng.random(200) < 0.3).tolist()):
+            src.access(int(a), bool(w))
+        dst = SetAssocCache(4 * KIB, 4)
+        dst.install_lines(*src.resident_arrays())
+        a1, d1 = src.resident_arrays()
+        a2, d2 = dst.resident_arrays()
+        # Same lines, same dirtiness, same recency order.
+        assert np.array_equal(a1, a2) and np.array_equal(d1, d2)
+        # And identical future behaviour: same victim on a conflict miss.
+        _, ev_src = src.access(0, False)
+        _, ev_dst = dst.access(0, False)
+        assert ev_src == ev_dst
+
+    def test_flush_matches_resident_dirty_lines(self):
+        c = SetAssocCache(4096, 2)
+        c.access(0, True)
+        c.access(64, False)
+        c.access(128, True)
+        addrs, dirty = c.resident_arrays()
+        expected = sorted(addrs[dirty].tolist())
+        victims = sorted(v.line_addr for v in c.flush())
+        assert victims == expected == [0, 128]
+        assert all(len(s) == 0 for s in c._sets)
+
+
 class TestCacheHierarchy:
     def _trace(self, behaviors, n=20_000, key="h"):
         return TraceBuilder(behaviors).build(n, stream("tests", key))
@@ -182,3 +254,52 @@ class TestCacheHierarchy:
     def test_per_object_counts_sum_to_accesses(self, tiny_trace):
         _, stats = CacheHierarchy().filter_trace(tiny_trace, warmup_frac=0.0)
         assert sum(v[0] for v in stats.per_object.values()) == len(tiny_trace)
+
+
+def _stream_tuples(s):
+    return [(a.dtype, a.tolist())
+            for a in (s.inst, s.vline, s.obj_id, s.dep, s.kind)]
+
+
+class TestWarmupBoundary:
+    """The ``inst_offset`` edge cases, pinned on both filter engines."""
+
+    def _trace(self, n, key="warm"):
+        b = [ObjectBehavior("o", 1 * MIB, 1.0, pattern="rand",
+                            gap_mean=5, site=1)]
+        return TraceBuilder(b).build(n, stream("tests", key))
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_zero_warmup_keeps_trace_numbering(self, fast_path):
+        t = self._trace(5000)
+        s, stats = CacheHierarchy().filter_trace(
+            t, warmup_frac=0.0, fast_path=fast_path)
+        # No offset: the stream keeps the trace's own instruction counts
+        # and the full trace length is the measured window.
+        assert stats.total_instructions == int(t.inst[-1])
+        # Every record carries a raw trace instruction count.
+        assert len(s) > 0 and np.isin(s.inst, t.inst).all()
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_nonzero_warmup_offsets_numbering(self, fast_path):
+        t = self._trace(5000)
+        s, stats = CacheHierarchy().filter_trace(
+            t, warmup_frac=0.5, fast_path=fast_path)
+        boundary = int(t.inst[int(len(t) * 0.5) - 1])
+        assert stats.total_instructions == int(t.inst[-1]) - boundary
+        assert len(s) > 0 and int(s.inst.min()) >= 0
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_tiny_trace_flooring_equals_zero_warmup(self, fast_path):
+        # 9 accesses at warmup_frac=0.1 floors to warm_until == 0: the
+        # documented contract is exact warmup_frac=0.0 behaviour (no
+        # exclusion window, no offset) — not a silent half-state.
+        t = self._trace(9, key="tinywarm")
+        assert int(len(t) * 0.1) == 0
+        floored = CacheHierarchy().filter_trace(
+            t, warmup_frac=0.1, fast_path=fast_path)
+        explicit = CacheHierarchy().filter_trace(
+            t, warmup_frac=0.0, fast_path=fast_path)
+        assert _stream_tuples(floored[0]) == _stream_tuples(explicit[0])
+        assert floored[0].total_instructions == explicit[0].total_instructions
+        assert floored[1] == explicit[1]

@@ -1,0 +1,217 @@
+"""Kernel ↔ reference parity for the cache-filter front end.
+
+The vectorized filter kernel (``repro.cpu.filter_kernel``) must be
+*byte-identical* to the retained reference loop in
+``CacheHierarchy._filter_trace_reference`` — same ``MissStream`` arrays
+(values and dtypes), same ``CacheStats`` including per-object tallies
+and their first-touch ordering, same final tag-store state.  This suite
+pins that over randomized traces and geometries, plus the engineered
+corners (both kernel dispatch modes, the prefetcher fallback, the
+``REPRO_FAST_PATH`` kill switch, and ``filtered_stream``'s
+shared-identity contract).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import filter_kernel
+from repro.cpu.cache import SetAssocCache
+from repro.cpu.hierarchy import CacheHierarchy
+from repro.cpu.prefetch import StridePrefetcher
+from repro.trace.events import AccessTrace, VirtualLayout
+from repro.util.rng import stream
+
+
+def _make_trace(n, seed, *, n_objects=3, obj_kib=96, write_frac=0.3,
+                dep_frac=0.1, hot=False):
+    """A synthetic AccessTrace over a few heap objects (no TraceBuilder:
+    parity needs adversarial address patterns, not realistic ones)."""
+    layout = VirtualLayout()
+    for i in range(n_objects):
+        layout.place(f"obj{i}", obj_kib * 1024, site=i + 1)
+    rng = stream("tests", "filter_parity", seed)
+    which = rng.integers(0, n_objects, size=n)
+    if hot:
+        # Hammer a single line's worth of offsets: maximal per-set skew.
+        offs = rng.integers(0, 64, size=n)
+    else:
+        offs = rng.integers(0, obj_kib * 1024, size=n)
+    vaddr = np.empty(n, dtype=np.int64)
+    for i in range(n_objects):
+        m = which == i
+        vaddr[m] = layout.objects[i].vbase + offs[m]
+    inst = np.cumsum(rng.integers(1, 12, size=n)).astype(np.int64)
+    return AccessTrace(
+        inst=inst,
+        vaddr=vaddr,
+        is_write=rng.random(n) < write_frac,
+        obj_id=layout.resolve(vaddr),
+        dep=rng.random(n) < dep_frac,
+        layout=layout,
+        total_instructions=int(inst[-1]) if n else 0,
+    )
+
+
+def _assert_identical(res_kernel, res_reference):
+    s_k, c_k = res_kernel
+    s_r, c_r = res_reference
+    for name in ("inst", "vline", "obj_id", "dep", "kind"):
+        a, b = getattr(s_k, name), getattr(s_r, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+    assert s_k.total_instructions == s_r.total_instructions
+    assert c_k == c_r
+    # dataclass == ignores dict ordering; first-touch order is part of
+    # the contract (MOCA's profiling tables iterate it).
+    assert list(c_k.per_object) == list(c_r.per_object)
+
+
+def _assert_same_state(h_a, h_b):
+    for lvl_a, lvl_b in ((h_a.l1, h_b.l1), (h_a.l2, h_b.l2)):
+        addr_a, dirty_a = lvl_a.resident_arrays()
+        addr_b, dirty_b = lvl_b.resident_arrays()
+        assert np.array_equal(addr_a, addr_b)
+        assert np.array_equal(dirty_a, dirty_b)
+        assert (lvl_a.n_hits, lvl_a.n_misses) == (lvl_b.n_hits,
+                                                  lvl_b.n_misses)
+
+
+GEOMETRIES = [
+    # (l1_size, l1_assoc, l2_size, l2_assoc, line_bytes) — tiny caches so
+    # a few hundred accesses exercise conflict and capacity behaviour.
+    (4 * 1024, 1, 16 * 1024, 2, 64),
+    (2 * 1024, 2, 8 * 1024, 16, 32),
+    (8 * 1024, 16, 32 * 1024, 16, 128),
+    (4 * 1024, 2, 16 * 1024, 1, 64),
+]
+
+
+class TestRandomizedParity:
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        seed=st.integers(min_value=0, max_value=10_000),
+        geom=st.sampled_from(GEOMETRIES),
+        write_frac=st.sampled_from([0.0, 0.3, 1.0]),
+        warmup=st.sampled_from([0.0, 0.1, 0.35]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_matches_reference(self, n, seed, geom, write_frac,
+                                      warmup):
+        l1s, l1a, l2s, l2a, lb = geom
+        trace = _make_trace(n, seed, write_frac=write_frac)
+        h_k = CacheHierarchy(l1s, l1a, l2s, l2a, lb)
+        h_r = CacheHierarchy(l1s, l1a, l2s, l2a, lb)
+        res_k = h_k.filter_trace(trace, warmup_frac=warmup, fast_path=True)
+        res_r = h_r.filter_trace(trace, warmup_frac=warmup, fast_path=False)
+        assert h_k.last_engine == "kernel"
+        assert h_r.last_engine == "reference"
+        _assert_identical(res_k, res_r)
+        _assert_same_state(h_k, h_r)
+
+    @given(n=st.integers(min_value=1, max_value=400),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_skewed_traces_match(self, n, seed):
+        """Single-set hammering drives the kernel's scalar dispatch."""
+        trace = _make_trace(n, seed, hot=True)
+        h_k, h_r = CacheHierarchy(), CacheHierarchy()
+        res_k = h_k.filter_trace(trace, fast_path=True)
+        res_r = h_r.filter_trace(trace, fast_path=False)
+        _assert_identical(res_k, res_r)
+        _assert_same_state(h_k, h_r)
+
+    def test_warm_hierarchy_continues_exactly(self):
+        """Filtering is stateful across calls; the kernel must seed its
+        matrices from the existing tag stores, not from empty caches."""
+        t1 = _make_trace(300, 1)
+        t2 = _make_trace(300, 2)
+        h_k, h_r = CacheHierarchy(), CacheHierarchy()
+        h_k.filter_trace(t1, fast_path=True)
+        h_r.filter_trace(t1, fast_path=False)
+        res_k = h_k.filter_trace(t2, warmup_frac=0.0, fast_path=True)
+        res_r = h_r.filter_trace(t2, warmup_frac=0.0, fast_path=False)
+        _assert_identical(res_k, res_r)
+        _assert_same_state(h_k, h_r)
+
+
+class TestKernelModes:
+    def test_rounds_and_scalar_agree(self):
+        trace = _make_trace(400, 7)
+        c1 = SetAssocCache(4 * 1024, 2)
+        c2 = SetAssocCache(4 * 1024, 2)
+        line = trace.vaddr >> c1._line_shift
+        wr = trace.is_write
+        r1 = filter_kernel.simulate_lru(c1, line, wr, mode="rounds")
+        r2 = filter_kernel.simulate_lru(c2, line, wr, mode="scalar")
+        assert np.array_equal(r1.hit, r2.hit)
+        assert np.array_equal(r1.victim_mask, r2.victim_mask)
+        assert np.array_equal(r1.victim_line[r1.victim_mask],
+                              r2.victim_line[r2.victim_mask])
+        assert np.array_equal(r1.victim_dirty[r1.victim_mask],
+                              r2.victim_dirty[r2.victim_mask])
+
+    def test_unknown_mode_rejected(self):
+        c = SetAssocCache(4 * 1024, 2)
+        with pytest.raises(ValueError):
+            filter_kernel.simulate_lru(c, np.zeros(1, dtype=np.int64),
+                                       np.zeros(1, dtype=bool),
+                                       mode="bogus")
+
+    def test_empty_input(self):
+        c = SetAssocCache(4 * 1024, 2)
+        r = filter_kernel.simulate_lru(c, np.zeros(0, dtype=np.int64),
+                                       np.zeros(0, dtype=bool))
+        assert len(r.hit) == 0 and len(r.victim_mask) == 0
+
+
+class TestEngineSelection:
+    def test_prefetcher_pins_reference_fallback(self):
+        """Runahead fills break per-set batching: a prefetcher-equipped
+        hierarchy must use the reference loop even when asked fast."""
+        trace = _make_trace(400, 11)
+        h_pf = CacheHierarchy(prefetcher=StridePrefetcher())
+        res_pf = h_pf.filter_trace(trace, fast_path=True)
+        assert h_pf.last_engine == "reference"
+        h_ref = CacheHierarchy(prefetcher=StridePrefetcher())
+        res_ref = h_ref.filter_trace(trace, fast_path=False)
+        _assert_identical(res_pf, res_ref)
+
+    def test_env_kill_switch(self, monkeypatch):
+        trace = _make_trace(100, 13)
+        monkeypatch.setenv("REPRO_FAST_PATH", "0")
+        h = CacheHierarchy()
+        h.filter_trace(trace)
+        assert h.last_engine == "reference"
+        monkeypatch.delenv("REPRO_FAST_PATH")
+        h2 = CacheHierarchy()
+        h2.filter_trace(trace)
+        assert h2.last_engine == "kernel"
+
+    def test_explicit_flag_overrides_env(self, monkeypatch):
+        trace = _make_trace(100, 17)
+        monkeypatch.setenv("REPRO_FAST_PATH", "0")
+        h = CacheHierarchy()
+        h.filter_trace(trace, fast_path=True)
+        assert h.last_engine == "kernel"
+
+
+class TestFilteredStreamContract:
+    def test_shared_identity_preserved(self):
+        """Same key → the very same objects, kernel era included."""
+        from repro.sim.single import filter_provenance, filtered_stream
+        a_stream, a_stats = filtered_stream("stitch", "ref", 4000)
+        b_stream, b_stats = filtered_stream("stitch", "ref", 4000)
+        assert a_stream is b_stream and a_stats is b_stats
+        prov = filter_provenance("stitch", "ref", 4000)
+        assert prov is not None and prov["engine"] in ("kernel",
+                                                       "reference",
+                                                       "store")
+
+    def test_engines_produce_identical_streams(self):
+        from repro.sim.single import filtered_stream
+        s_k, c_k = filtered_stream("stitch", "ref", 4001, True)
+        s_r, c_r = filtered_stream("stitch", "ref", 4001, False)
+        assert s_k is not s_r  # distinct memo entries...
+        _assert_identical((s_k, c_k), (s_r, c_r))  # ...identical bytes
