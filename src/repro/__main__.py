@@ -78,6 +78,11 @@ def _emit(m: RunMetrics, as_json: bool) -> None:
 def _run_spec(args, workload: str) -> int:
     spec = RunSpec(workload=workload, config=args.system,
                    policy=args.policy, n_accesses=args.accesses)
+    if args.profile:
+        # cProfile needs the telemetry shuttle to bring the per-unit
+        # pstats table back through the engine's fold.
+        engine.configure_telemetry(True)
+        engine.configure_profile(True)
     m = engine.run_cached(spec)
     _emit(m, args.json)
     stats = engine.cache_stats()
@@ -85,6 +90,17 @@ def _run_spec(args, workload: str) -> int:
         print(f"[result cache: {stats['hits']} hits, "
               f"{stats['misses']} misses ({stats['directory']})]",
               file=sys.stderr)
+    if args.profile:
+        rows = engine.profile_stats(top=10)
+        if rows is None:
+            print("[profile: run served from cache — nothing profiled; "
+                  "re-run with --refresh]", file=sys.stderr)
+        else:
+            print("[profile: top 10 by cumulative time]", file=sys.stderr)
+            for r in rows:
+                loc = f"{r['file']}:{r['line']}".rsplit("/", 1)[-1]
+                print(f"  {r['cumtime_s']:8.3f}s  {r['ncalls']:>8} calls  "
+                      f"{r['func']} ({loc})", file=sys.stderr)
     return 0
 
 
@@ -184,6 +200,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--accesses", type=int, default=120_000)
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and print the top hotspots")
     _add_obs_flags(p)
     _add_cache_flags(p)
     p.set_defaults(fn=_cmd_run)
@@ -197,6 +215,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--accesses", type=int, default=60_000)
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and print the top hotspots")
     _add_obs_flags(p)
     _add_cache_flags(p)
     p.set_defaults(fn=_cmd_runmix)

@@ -28,11 +28,22 @@ reloaded from their artefacts instead of recomputed (``--no-resume``
 starts over).  ``--unit-timeout`` / ``--max-attempts`` (or the
 ``REPRO_UNIT_TIMEOUT`` / ``REPRO_MAX_ATTEMPTS`` variables) bound how
 long the engine fights for each simulation unit.
+
+Campaign telemetry (:mod:`repro.obs.telemetry`) is on by default: each
+sweep unit — including those in worker processes — ships back counters,
+span histograms, and resource usage, folded into the manifest's
+``telemetry`` block and, with ``--save``, a ``telemetry.jsonl`` artefact
+plus a merged multi-lane Chrome ``trace.json`` (``--no-telemetry`` opts
+out).  ``--dashboard`` attaches a live stderr status line and heartbeat
+file; ``--profile`` wraps each unit in cProfile and writes merged
+hotspots to ``profile.json``; ``--bench-history`` appends a perf-trend
+record (see ``python -m repro.experiments bench-report``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -45,8 +56,10 @@ from repro.experiments.resilience import (
     JOURNAL_NAME,
     RetryPolicy,
 )
-from repro.obs import OBS, ProgressReporter, run_meta, write_chrome_trace, \
-    write_jsonl
+from repro.obs import OBS, Dashboard, ProgressReporter, run_meta, \
+    write_chrome_trace, write_jsonl
+from repro.obs import telemetry as obstel
+from repro.obs.dashboard import HEARTBEAT_NAME
 from repro.experiments import (
     devices, fig01, fig02, fig08, fig09, fig10, fig11, fig12, fig13,
     fig14, fig15, fig16, headline, overhead, resilience_sweep, smoke,
@@ -90,6 +103,13 @@ EXTRAS_SET = tuple(sorted(set(EXPERIMENTS) - set(PAPER_SET)))
 
 
 def main(argv: list[str] | None = None) -> int:
+    # "bench-report" is its own sub-CLI with unrelated flags; dispatch
+    # before the campaign argparse sees (and rejects) them.
+    argv_list = sys.argv[1:] if argv is None else list(argv)
+    if argv_list and argv_list[0] == "bench-report":
+        from repro.obs import bench
+        return bench.report_main(argv_list[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the MOCA paper's tables and figures.")
@@ -140,7 +160,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-resume", action="store_true",
                         help="ignore the campaign checkpoint journal in "
                              "--save DIR and recompute every figure")
-    args = parser.parse_args(argv)
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="disable per-unit campaign telemetry capture "
+                             "(manifest 'telemetry' block, telemetry.jsonl, "
+                             "merged trace.json)")
+    parser.add_argument("--dashboard", action="store_true",
+                        help="live campaign status line on stderr plus a "
+                             "machine-readable <save>/.heartbeat.json")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap each simulation unit in cProfile and "
+                             "write merged hotspots to <save>/profile.json")
+    parser.add_argument("--bench-history", metavar="PATH", nargs="?",
+                        const="", default=None,
+                        help="append a perf-trend record for this campaign "
+                             "(default path results/bench_history.jsonl or "
+                             "$REPRO_BENCH_HISTORY; see bench-report)")
+    args = parser.parse_args(argv_list)
 
     if args.trace or args.obs_dump or args.progress:
         OBS.enable()
@@ -162,6 +197,11 @@ def main(argv: list[str] | None = None) -> int:
             max_attempts=(args.max_attempts if args.max_attempts is not None
                           else base.max_attempts)))
 
+    engine.configure_telemetry(not args.no_telemetry)
+    if args.profile:
+        engine.configure_profile(True)
+    obstel.mark_campaign_start()
+
     fidelity = _runner.FIDELITIES[args.fidelity]
     names: list[str] = []
     for token in args.which:
@@ -179,6 +219,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.no_resume or args.refresh:
             journal.clear()
 
+    dash: Dashboard | None = None
+    if args.dashboard:
+        dash = Dashboard(
+            heartbeat_path=(Path(args.save) / HEARTBEAT_NAME
+                            if args.save else None),
+            stats_provider=engine.dashboard_stats)
+        engine.add_observer(dash.on_event)
+        dash.campaign_begin(names, fidelity.name)
+
     try:
         from repro.experiments.store import load_figure, save_figure
 
@@ -187,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
         failed = 0
         for name in names:
             t0 = time.time()
+            if dash is not None:
+                dash.figure_begin(name)
             # Resume: a figure the journal marks done, whose artefact is
             # still on disk, is reloaded instead of recomputed.
             if journal is not None and journal.is_done(name):
@@ -201,6 +252,8 @@ def main(argv: list[str] | None = None) -> int:
                     print()
                     statuses[name] = {"status": "resumed"}
                     saved.append(fig.figure_id)
+                    if dash is not None:
+                        dash.figure_end(name, "resumed")
                     continue
             try:
                 with OBS.span(f"experiment.{name}", fidelity=fidelity.name):
@@ -216,6 +269,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"[{name}: FAILED after {seconds}s: "
                       f"{type(exc).__name__}: {exc}]", file=sys.stderr)
                 print()
+                if dash is not None:
+                    dash.figure_end(name, "failed")
                 if not args.keep_going:
                     break
                 continue
@@ -224,16 +279,51 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{name}: {seconds}s]")
             print()
             statuses[name] = {"status": "ok", "seconds": seconds}
+            if dash is not None:
+                dash.figure_end(name, "ok")
             if args.save:
                 save_figure(fig, args.save,
                             meta=run_meta(fidelity=fidelity, experiment=name))
                 saved.append(fig.figure_id)
                 if journal is not None:
                     journal.mark(name, "done", seconds=seconds)
+        if dash is not None:
+            dash.campaign_end()
+        units = engine.unit_telemetry_records()
         if args.save:
             from repro.experiments.store import write_manifest
             write_manifest(args.save, fidelity, saved, statuses=statuses)
+            if engine.telemetry_stats() is not None:
+                obstel.write_telemetry_jsonl(
+                    Path(args.save) / "telemetry.jsonl", units,
+                    engine.campaign_telemetry())
+                trace_doc = obstel.merged_trace_doc(OBS, units)
+                (Path(args.save) / "trace.json").write_text(
+                    json.dumps(trace_doc))
+            prof = engine.profile_stats()
+            if prof is not None:
+                (Path(args.save) / "profile.json").write_text(json.dumps(
+                    {"version": 1, "units": engine.campaign_telemetry().units,
+                     "entries": len(prof), "top": prof}, indent=1))
+                print(f"profile hotspots written to "
+                      f"{Path(args.save) / 'profile.json'}", file=sys.stderr)
             print(f"artefacts written to {args.save}/")
+        if args.bench_history is not None:
+            from repro.obs import bench
+            record = bench.campaign_record(
+                fidelity.name, engine.campaign_telemetry(),
+                sweep_seconds=engine.sweep_seconds(),
+                cache=engine.cache_stats())
+            path = bench.append_record(record,
+                                       args.bench_history or None)
+            print(f"bench-history record appended to {path}",
+                  file=sys.stderr)
+        telem = engine.telemetry_stats()
+        if telem is not None and (telem["units"] or telem["cached_units"]):
+            print(f"[telemetry: {telem['units']} units simulated "
+                  f"({telem['cached_units']} cached) across "
+                  f"{len(telem['workers'])} worker(s), "
+                  f"{telem['wall_s']:.1f}s unit wall time]", file=sys.stderr)
         stats = engine.cache_stats()
         if stats is not None and (stats.get("hits") or stats.get("misses")):
             print(f"[result cache: {stats['hits']} hits, "
@@ -254,7 +344,15 @@ def main(argv: list[str] | None = None) -> int:
                   f"{', degraded to serial' if res['degraded_serial'] else ''}"
                   f"]", file=sys.stderr)
         if args.trace:
-            path = write_chrome_trace(OBS, args.trace)
+            if units:
+                # Campaign view: parent lane + one pid lane per worker,
+                # re-based onto the campaign wall clock.
+                path = Path(args.trace)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(json.dumps(
+                    obstel.merged_trace_doc(OBS, units)))
+            else:
+                path = write_chrome_trace(OBS, args.trace)
             print(f"chrome trace written to {path}", file=sys.stderr)
         if args.obs_dump:
             path = write_jsonl(OBS, args.obs_dump)

@@ -41,7 +41,7 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.resilience import (
@@ -50,7 +50,8 @@ from repro.experiments.resilience import (
     chaos_probe,
     run_resilient,
 )
-from repro.obs.registry import OBS
+from repro.obs import telemetry as obstel
+from repro.obs.registry import ENV_QUIET, OBS
 from repro.sim import stream_store
 from repro.sim.metrics import RunMetrics
 from repro.sim.spec import RunSpec, run
@@ -58,15 +59,24 @@ from repro.sim.spec import RunSpec, run
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "active_cache",
+    "add_observer",
     "cache_stats",
+    "campaign_telemetry",
     "configure",
+    "configure_profile",
     "configure_resilience",
+    "configure_telemetry",
+    "dashboard_stats",
     "execute",
+    "profile_stats",
+    "remove_observer",
     "reset",
     "resilience_stats",
     "run_cached",
     "sweep_seconds",
     "sweep_workers",
+    "telemetry_stats",
+    "unit_telemetry_records",
 ]
 
 #: Where the experiment CLIs cache results unless told otherwise.
@@ -85,6 +95,14 @@ _resilience: dict = {}
 #: Environment values displaced by configure()'s stream-store export,
 #: keyed by variable name; reset() restores them.
 _stream_env_saved: dict[str, str | None] = {}
+#: Campaign telemetry fold (see repro.obs.telemetry); populated only
+#: while REPRO_TELEMETRY=1 (configure_telemetry / the experiments CLI).
+_campaign = obstel.CampaignTelemetry()
+_unit_records: list[obstel.UnitTelemetry] = []
+#: Merged cProfile rows: (file, line, func) -> [cc, nc, tt, ct].
+_profile: dict[tuple, list] = {}
+#: Live observers of execute() progress (the --dashboard reporter).
+_observers: list[Callable[[dict], None]] = []
 
 
 def sweep_workers() -> int:
@@ -180,6 +198,121 @@ def resilience_stats() -> dict | None:
     }
 
 
+# ---- telemetry wiring ------------------------------------------------------
+
+
+def configure_telemetry(enabled: bool) -> None:
+    """Turn per-unit telemetry capture on or off for subsequent sweeps.
+
+    Exported via ``REPRO_TELEMETRY`` so worker processes inherit the
+    choice; :func:`reset` restores the caller's environment.  The
+    experiments CLI enables this by default (``--no-telemetry`` opts
+    out); direct library use stays zero-cost unless asked.
+    """
+    _export_env(obstel.ENV_TELEMETRY, "1" if enabled else None)
+
+
+def configure_profile(enabled: bool) -> None:
+    """Wrap each simulated unit in cProfile (the ``--profile`` flag).
+
+    Per-unit ``pstats`` tables ship back with the telemetry and are
+    merged into :func:`profile_stats`.  Exported via ``REPRO_PROFILE``
+    for worker processes; restored by :func:`reset`.
+    """
+    _export_env(obstel.ENV_PROFILE, "1" if enabled else None)
+
+
+def telemetry_stats() -> dict | None:
+    """Manifest-ready campaign telemetry (``None`` = nothing captured)."""
+    if _campaign.units == 0 and _campaign.cached_units == 0:
+        return None
+    return _campaign.to_dict()
+
+
+def campaign_telemetry() -> obstel.CampaignTelemetry:
+    """The live campaign aggregate (empty unless telemetry is on)."""
+    return _campaign
+
+
+def unit_telemetry_records() -> list[obstel.UnitTelemetry]:
+    """Per-unit snapshots folded so far, in completion order."""
+    return list(_unit_records)
+
+
+def profile_stats(top: int = 50) -> list[dict] | None:
+    """Merged cProfile hotspots across units, by cumulative time."""
+    if not _profile:
+        return None
+    ranked = sorted(_profile.items(), key=lambda kv: -kv[1][3])[:top]
+    return [
+        {"file": f, "line": line, "func": func, "primcalls": cc,
+         "ncalls": nc, "tottime_s": round(tt, 6), "cumtime_s": round(ct, 6)}
+        for (f, line, func), (cc, nc, tt, ct) in ranked
+    ]
+
+
+def dashboard_stats() -> dict:
+    """Live stats bundle for the ``--dashboard`` reporter."""
+    return {
+        "cache": cache_stats(),
+        "streams": stream_store.stats_dict(),
+        "resilience": resilience_stats(),
+        "hot_spans": _campaign.hot_spans(3),
+        "telemetry_units": _campaign.units,
+        "wall_s": round(_campaign.wall_s, 3),
+    }
+
+
+def add_observer(fn: Callable[[dict], None]) -> None:
+    """Subscribe to execute() progress events.
+
+    Events are dicts: ``{"kind": "phase_begin", "phase", "total",
+    "cached"}``, ``{"kind": "unit_done", "phase", "label", "ok"}``,
+    ``{"kind": "phase_end", "phase"}``.  Observer exceptions propagate —
+    they run in the campaign's parent process.
+    """
+    _observers.append(fn)
+
+
+def remove_observer(fn: Callable[[dict], None]) -> None:
+    if fn in _observers:
+        _observers.remove(fn)
+
+
+def _notify(event: dict) -> None:
+    for fn in _observers:
+        fn(event)
+
+
+def _fold_unit(metrics: RunMetrics | None) -> None:
+    """Parent-side fold of one terminal unit outcome.
+
+    Pops the telemetry/profile payloads off ``metrics.meta`` *before*
+    the result reaches the persistent cache, so cache artefacts stay
+    clean and cache hits never contribute stale telemetry.  Warnings
+    raised in (quiet) workers are reprinted here, once per distinct key
+    per campaign, via the parent registry's own warn-once memory.
+    """
+    if metrics is None:
+        _campaign.failed_units += 1
+        return
+    ut_doc = metrics.meta.pop("unit_telemetry", None)
+    if ut_doc is not None:
+        ut = obstel.UnitTelemetry.from_dict(ut_doc)
+        _unit_records.append(ut)
+        _campaign.add_unit(ut)
+        for key, message in ut.warnings.items():
+            OBS.warn(message, key=key, force=True)
+    rows = metrics.meta.pop("unit_profile", None)
+    if rows:
+        for f, line, func, cc, nc, tt, ct in rows:
+            agg = _profile.setdefault((f, line, func), [0, 0, 0.0, 0.0])
+            agg[0] += cc
+            agg[1] += nc
+            agg[2] += tt
+            agg[3] += ct
+
+
 def reset() -> None:
     """Drop explicit configuration, phase timings, and resilience state.
 
@@ -187,11 +320,15 @@ def reset() -> None:
     (or no cache).  The CLIs call this on exit so embedded invocations
     (tests, notebooks) don't leak one command's cache into the next.
     """
-    global _cache_override, _retry_policy
+    global _cache_override, _retry_policy, _campaign
     _cache_override = _UNSET
     _retry_policy = None
     _sweep_seconds.clear()
     _resilience.clear()
+    _campaign = obstel.CampaignTelemetry()
+    _unit_records.clear()
+    _profile.clear()
+    _observers.clear()
     for name, value in _stream_env_saved.items():
         if value is None:
             os.environ.pop(name, None)
@@ -256,14 +393,60 @@ def _execute_spec(spec: RunSpec) -> RunMetrics:
     unaffected.  One warning per process makes the mode visible in
     campaign logs.
     """
+    chaos_probe()
+    if not obstel.capture_enabled():
+        _warn_if_slow_path()
+        return _run_unit(spec)
+    cap = obstel.begin_unit()
+    try:
+        # Inside the capture on purpose: a quiet worker's warning is
+        # then shipped back in UnitTelemetry and reprinted (once) by
+        # the parent's _fold_unit.
+        _warn_if_slow_path()
+        metrics = _run_unit(spec)
+    except BaseException:
+        obstel.abort_unit(cap)
+        raise
+    ut = obstel.end_unit(cap, label=spec.describe(), meta=metrics.meta)
+    metrics.meta["unit_telemetry"] = ut.to_dict()
+    return metrics
+
+
+def _warn_if_slow_path() -> None:
     global _warned_slow_path
     if os.environ.get("REPRO_FAST_PATH") == "0" and not _warned_slow_path:
         _warned_slow_path = True
         OBS.warn("REPRO_FAST_PATH=0: fast paths disabled; runs use the "
                  "reference replay interpreter and cache-filter loop "
-                 "(bit-identical, several times slower)")
-    chaos_probe()
-    return run(spec)
+                 "(bit-identical, several times slower)",
+                 key="slow-path")
+
+
+def _run_unit(spec: RunSpec) -> RunMetrics:
+    """Simulate one unit, optionally under cProfile (``REPRO_PROFILE``).
+
+    The per-unit ``pstats`` table rides back in ``meta["unit_profile"]``
+    as picklable rows trimmed to the top entries by cumulative time;
+    the engine merges them across units into :func:`profile_stats`.
+    """
+    if os.environ.get(obstel.ENV_PROFILE) != "1":
+        return run(spec)
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        metrics = run(spec)
+    finally:
+        prof.disable()
+    stats = pstats.Stats(prof).stats  # (file, line, func) -> tuple
+    ranked = sorted(stats.items(), key=lambda kv: -kv[1][3])[:200]
+    metrics.meta["unit_profile"] = [
+        [f, line, func, cc, nc, tt, ct]
+        for (f, line, func), (cc, nc, tt, ct, _callers) in ranked
+    ]
+    return metrics
 
 
 def _effective_workers(n_units: int) -> int:
@@ -324,6 +507,7 @@ def execute(specs: Sequence[RunSpec], *,
     """
     t0 = time.perf_counter()
     cache = active_cache()
+    telemetry_on = obstel.capture_enabled()
     results: list[RunMetrics | None] = [None] * len(specs)
     missing: list[int] = []
     for i, spec in enumerate(specs):
@@ -333,12 +517,39 @@ def execute(specs: Sequence[RunSpec], *,
         else:
             missing.append(i)
 
+    _notify({"kind": "phase_begin", "phase": phase, "total": len(specs),
+             "cached": len(specs) - len(missing)})
+    if telemetry_on:
+        _campaign.cached_units += len(specs) - len(missing)
+
     if missing:
         todo = [specs[i] for i in missing]
         workers = _effective_workers(len(todo))
-        report = run_resilient(todo, workers=workers,
-                               policy=active_retry_policy(),
-                               runner=_execute_spec)
+
+        def _on_unit(j: int, metrics: RunMetrics | None) -> None:
+            _fold_unit(metrics)
+            _notify({"kind": "unit_done", "phase": phase,
+                     "label": todo[j].describe(),
+                     "ok": metrics is not None})
+
+        # With real worker processes, silence their stderr warnings —
+        # each worker ships its warning keys back in UnitTelemetry and
+        # _fold_unit reprints every distinct one exactly once.
+        quiet = workers > 1 and telemetry_on
+        prev_quiet = os.environ.get(ENV_QUIET)
+        if quiet:
+            os.environ[ENV_QUIET] = "1"
+        try:
+            report = run_resilient(todo, workers=workers,
+                                   policy=active_retry_policy(),
+                                   runner=_execute_spec,
+                                   on_unit=_on_unit)
+        finally:
+            if quiet:
+                if prev_quiet is None:
+                    os.environ.pop(ENV_QUIET, None)
+                else:
+                    os.environ[ENV_QUIET] = prev_quiet
         _tally(report)
         for i, metrics in zip(missing, report.results):
             results[i] = metrics
@@ -347,6 +558,7 @@ def execute(specs: Sequence[RunSpec], *,
         if phase is not None:
             _sweep_seconds[phase] = (_sweep_seconds.get(phase, 0.0)
                                      + time.perf_counter() - t0)
+        _notify({"kind": "phase_end", "phase": phase})
         if report.failures:
             raise SweepFailure(report.failures, phase=phase)
         return results  # type: ignore[return-value]
@@ -354,6 +566,7 @@ def execute(specs: Sequence[RunSpec], *,
     if phase is not None:
         _sweep_seconds[phase] = (_sweep_seconds.get(phase, 0.0)
                                  + time.perf_counter() - t0)
+    _notify({"kind": "phase_end", "phase": phase})
     return results  # type: ignore[return-value]
 
 

@@ -301,7 +301,9 @@ def _run_serial(pending: "deque[tuple[int, int]]",
                 specs: Sequence[RunSpec],
                 runner: Callable[[RunSpec], RunMetrics],
                 policy: RetryPolicy,
-                report: ExecutionReport) -> None:
+                report: ExecutionReport,
+                on_unit: Callable[[int, RunMetrics | None], None] | None,
+                ) -> None:
     """Drain ``pending`` in-process; retries apply, timeouts cannot."""
     while pending:
         index, attempt = pending.popleft()
@@ -322,11 +324,18 @@ def _run_serial(pending: "deque[tuple[int, int]]",
                     attempts=attempt,
                     error=f"{type(exc).__name__}: {exc}"))
                 OBS.add("resilience.unit_failed")
+                if on_unit is not None:
+                    on_unit(index, None)
+        else:
+            if on_unit is not None:
+                on_unit(index, report.results[index])
 
 
 def run_resilient(specs: Sequence[RunSpec], *, workers: int,
                   policy: RetryPolicy | None = None,
                   runner: Callable[[RunSpec], RunMetrics] | None = None,
+                  on_unit: Callable[[int, RunMetrics | None], None]
+                  | None = None,
                   ) -> ExecutionReport:
     """Execute every spec, surviving crashes, hangs, and flaky failures.
 
@@ -336,6 +345,11 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
         policy: Retry/timeout knobs (default: :meth:`RetryPolicy.from_env`).
         runner: Unit entry point; must be picklable for ``workers > 1``.
             Defaults to the engine's worker entry.
+        on_unit: Parent-process callback fired once per unit on its
+            *terminal* outcome — ``(index, metrics)`` on success,
+            ``(index, None)`` after the last attempt fails.  Retried
+            attempts do not fire.  The engine uses this to fold
+            telemetry and feed the live dashboard as units land.
 
     Returns:
         An :class:`ExecutionReport` whose ``results`` parallel ``specs``
@@ -352,7 +366,7 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
         (i, 1) for i in range(len(specs)))
 
     if workers <= 1:
-        _run_serial(pending, specs, runner, policy, report)
+        _run_serial(pending, specs, runner, policy, report, on_unit)
         return report
 
     consecutive_breaks = 0
@@ -380,6 +394,8 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
                     report.results[index] = fut.result()
                     consecutive_breaks = 0
                     OBS.add("sweep.runs_done")
+                    if on_unit is not None:
+                        on_unit(index, report.results[index])
                 elif isinstance(exc, BrokenProcessPool):
                     # Every in-flight future gets this when any worker
                     # dies; the culprit is unknowable, so all of them
@@ -400,6 +416,8 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
                             label=specs[index].describe(), attempts=attempt,
                             error=f"{type(exc).__name__}: {exc}"))
                         OBS.add("resilience.unit_failed")
+                        if on_unit is not None:
+                            on_unit(index, None)
 
             # Hung units: anything still running past its deadline.  A
             # unit still *queued* past its deadline (a sibling hogged
@@ -430,6 +448,8 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
                             error=f"unit exceeded {policy.unit_timeout:g}s "
                                   f"wall-clock timeout", timed_out=True))
                         OBS.add("resilience.unit_failed")
+                        if on_unit is not None:
+                            on_unit(index, None)
                 broke = True
 
             if broke:
@@ -453,6 +473,8 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
                             error="worker pool broke repeatedly under "
                                   "this unit"))
                         OBS.add("resilience.unit_failed")
+                        if on_unit is not None:
+                            on_unit(index, None)
                 _terminate_pool(pool)
                 if consecutive_breaks >= policy.max_pool_breaks:
                     OBS.warn(
@@ -462,7 +484,8 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
                     OBS.add("resilience.degraded_serial")
                     report.degraded_serial = True
                     pool = None
-                    _run_serial(pending, specs, runner, policy, report)
+                    _run_serial(pending, specs, runner, policy, report,
+                                on_unit)
                     return report
                 pool = ProcessPoolExecutor(max_workers=workers)
     finally:

@@ -72,7 +72,12 @@ def write_manifest(directory: str | Path, fidelity: Fidelity,
     wall time or error) and the engine's resilience tallies (retries,
     timeouts, pool rebuilds, terminal unit failures, degraded-serial
     flag) land in the manifest too, so a campaign that survived faults
-    says so instead of looking clean.
+    says so instead of looking clean.  When per-unit telemetry capture
+    was on (the CLI default), the campaign-wide
+    :class:`~repro.obs.telemetry.CampaignTelemetry` aggregate — summed
+    counters, span histograms with percentiles, per-worker utilization,
+    deduplicated warnings — lands under ``telemetry`` and round-trips
+    losslessly via ``CampaignTelemetry.from_dict``.
     """
     import repro
     from repro.experiments import engine
@@ -101,6 +106,9 @@ def write_manifest(directory: str | Path, fidelity: Fidelity,
     resilience = engine.resilience_stats()
     if resilience is not None:
         doc["resilience"] = resilience
+    telemetry = engine.telemetry_stats()
+    if telemetry is not None:
+        doc["telemetry"] = telemetry
     sweeps = engine.sweep_seconds()
     if sweeps:
         doc["sweep_seconds"] = {k: round(v, 6) for k, v in sweeps.items()}

@@ -6,11 +6,22 @@ Public surface:
   instrumentation hooks publish to (disabled by default; enabling it is
   what ``--trace``/``--progress``/``--obs-dump`` do);
 * :mod:`repro.obs.sinks` — JSONL and Chrome ``trace_event`` exporters;
-* :class:`ProgressReporter` — stderr narration of long sweeps;
+* :class:`ProgressReporter` — stderr narration of long sweeps
+  (tty-aware: repaints in place on a terminal, plain lines on a pipe);
+* :mod:`repro.obs.telemetry` — campaign-wide telemetry: per-unit
+  :class:`UnitTelemetry` snapshots captured in sweep workers, folded
+  into a mergeable :class:`CampaignTelemetry` (log2 histograms,
+  per-worker utilization, cross-process warning dedup) and a merged
+  multi-lane Chrome trace;
+* :class:`Dashboard` — the ``--dashboard`` live campaign reporter and
+  its machine-readable heartbeat file;
+* :mod:`repro.obs.bench` — append-only perf-trend history and the
+  ``bench-report`` regression CLI;
 * :func:`run_meta` / :func:`config_hash` — provenance ``meta`` blocks.
 """
 
-from repro.obs.progress import ProgressReporter
+from repro.obs.dashboard import Dashboard
+from repro.obs.progress import ProgressReporter, supports_repaint
 from repro.obs.provenance import config_hash, run_meta
 from repro.obs.registry import OBS, Registry, SpanEvent
 from repro.obs.sinks import (
@@ -19,9 +30,18 @@ from repro.obs.sinks import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.telemetry import (
+    CampaignTelemetry,
+    LogHistogram,
+    UnitTelemetry,
+    merged_trace_doc,
+    write_telemetry_jsonl,
+)
 
 __all__ = [
-    "OBS", "Registry", "SpanEvent", "ProgressReporter",
+    "OBS", "Registry", "SpanEvent", "ProgressReporter", "supports_repaint",
     "config_hash", "run_meta",
     "chrome_trace_doc", "read_jsonl", "write_chrome_trace", "write_jsonl",
+    "CampaignTelemetry", "LogHistogram", "UnitTelemetry",
+    "merged_trace_doc", "write_telemetry_jsonl", "Dashboard",
 ]

@@ -1,35 +1,71 @@
 """Human progress reporting for long sweeps.
 
-A :class:`ProgressReporter` is a registry listener: it prints one stderr
-line per closed span at or above a configurable depth, so a FULL-fidelity
-``single_sweep()`` narrates ``run.mcf.moca (4.2s)`` instead of grinding
+A :class:`ProgressReporter` is a registry listener: it narrates closed
+spans at or above a configurable depth, so a FULL-fidelity
+``single_sweep()`` reports ``run.mcf.moca (4.2s)`` instead of grinding
 silently for minutes.  Attach with ``reporter.attach(OBS)`` (the
 ``--progress`` CLI flag does exactly this).
 
+The reporter is tty-aware via :func:`supports_repaint` (shared with the
+campaign dashboard): on an interactive terminal each update repaints a
+single status line in place with a carriage return; on a pipe or file it
+falls back to one plain line per update, so redirected logs stay clean
+of control characters.
+
 Note: sweeps run with ``REPRO_WORKERS > 1`` execute rows in worker
 processes whose registries are separate; progress lines then cover only
-the parent process's own spans.
+the parent process's own spans (campaign-wide visibility is the job of
+:mod:`repro.obs.telemetry` and the ``--dashboard`` reporter).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import TextIO
 
 from repro.obs.registry import Registry, SpanEvent
 
-__all__ = ["ProgressReporter"]
+__all__ = ["ProgressReporter", "supports_repaint"]
+
+#: Erase-to-end-of-line after a carriage return, so shorter repaints
+#: don't leave stale tail characters.
+_CLEAR_EOL = "\x1b[K"
+
+
+def supports_repaint(stream: TextIO) -> bool:
+    """Whether in-place carriage-return repaints are safe on ``stream``.
+
+    True only for a real tty whose ``TERM`` is not ``dumb``; pipes,
+    files, and ``StringIO`` buffers get plain line-per-update output.
+    """
+    try:
+        if not stream.isatty():
+            return False
+    except (AttributeError, ValueError, OSError):
+        return False
+    return os.environ.get("TERM", "") != "dumb"
 
 
 class ProgressReporter:
-    """Print one line per closed span (depth-filtered) to a stream."""
+    """Narrate closed spans (depth-filtered) to a stream.
 
-    def __init__(self, stream: TextIO | None = None, max_depth: int = 1):
+    ``repaint=None`` (the default) auto-detects via
+    :func:`supports_repaint`; pass ``True``/``False`` to force a mode.
+    In repaint mode call :meth:`close` (or detach) when done so the last
+    status line is terminated with a newline.
+    """
+
+    def __init__(self, stream: TextIO | None = None, max_depth: int = 1,
+                 repaint: bool | None = None):
         self.stream = stream if stream is not None else sys.stderr
         self.max_depth = max_depth
+        self.repaint = (supports_repaint(self.stream)
+                        if repaint is None else repaint)
         self.n_reported = 0
         self._t0 = time.perf_counter()
+        self._open_line = False
 
     def __call__(self, event: SpanEvent) -> None:
         if event.kind != "span" or event.depth > self.max_depth:
@@ -37,9 +73,20 @@ class ProgressReporter:
         self.n_reported += 1
         elapsed = time.perf_counter() - self._t0
         indent = "  " * event.depth
-        print(f"[{elapsed:8.1f}s] {indent}{event.name} "
-              f"({event.duration_s:.2f}s)",
-              file=self.stream, flush=True)
+        line = (f"[{elapsed:8.1f}s] {indent}{event.name} "
+                f"({event.duration_s:.2f}s)")
+        if self.repaint:
+            print(f"\r{line}{_CLEAR_EOL}", file=self.stream,
+                  flush=True, end="")
+            self._open_line = True
+        else:
+            print(line, file=self.stream, flush=True)
+
+    def close(self) -> None:
+        """Terminate a pending repaint line (no-op in line mode)."""
+        if self._open_line:
+            print(file=self.stream, flush=True)
+            self._open_line = False
 
     def attach(self, registry: Registry) -> "ProgressReporter":
         registry.add_listener(self)
@@ -47,3 +94,4 @@ class ProgressReporter:
 
     def detach(self, registry: Registry) -> None:
         registry.remove_listener(self)
+        self.close()

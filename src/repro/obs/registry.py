@@ -22,12 +22,19 @@ the MOCA profiler, experiment sweeps).  Design constraints, in order:
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["SpanEvent", "Registry", "OBS"]
+__all__ = ["ENV_QUIET", "SpanEvent", "Registry", "OBS"]
+
+#: ``"1"`` suppresses the stderr print of :meth:`Registry.warn` while
+#: still recording the warning.  The sweep engine sets this in worker
+#: processes so campaign warnings are shipped back via telemetry and
+#: reprinted once by the parent instead of once per worker.
+ENV_QUIET = "REPRO_OBS_QUIET"
 
 
 @dataclass
@@ -122,7 +129,7 @@ class Registry:
         self.events: list[SpanEvent] = []
         self._stack: list[SpanEvent] = []
         self._listeners: list[Callable[[SpanEvent], None]] = []
-        self._warned: set[str] = set()
+        self._warned: dict[str, str] = {}  #: dedup key -> message
         self._next_id = 1
 
     # ---- lifecycle ---------------------------------------------------------------
@@ -224,16 +231,29 @@ class Registry:
 
     # ---- warnings ----------------------------------------------------------------
 
-    def warn(self, message: str) -> None:
+    def warn(self, message: str, *, key: str | None = None,
+             force: bool = False) -> None:
         """One-shot warning: stderr always, plus an instant event if enabled.
 
         Unlike the other hooks this is *not* silenced when the registry
         is disabled — a warning the user never sees defeats its purpose —
-        but each distinct message prints at most once per process.
+        but each distinct warning prints at most once per process.
+
+        ``key`` is the dedup identity (defaults to the message itself).
+        A stable key lets callers vary the message text — e.g. embed a
+        count — without re-printing, and lets campaign telemetry
+        deduplicate the same warning across worker processes.  With
+        :data:`ENV_QUIET` set to ``"1"`` the stderr print is suppressed
+        (the warning is still recorded and still shipped in telemetry)
+        unless ``force`` is true — the sweep engine uses ``force`` when
+        reprinting a warning shipped back from a quieted worker, since
+        the quiet env is still set in the parent at fold time.
         """
-        if message not in self._warned:
-            self._warned.add(message)
-            print(f"[repro.obs] warning: {message}", file=sys.stderr)
+        key = message if key is None else key
+        if key not in self._warned:
+            self._warned[key] = message
+            if force or os.environ.get(ENV_QUIET) != "1":
+                print(f"[repro.obs] warning: {message}", file=sys.stderr)
         if self.enabled:
             parent = self._stack[-1] if self._stack else None
             self.events.append(SpanEvent(

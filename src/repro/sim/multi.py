@@ -94,6 +94,7 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
         meta["filter"] = {
             a: filter_provenance(a, input_name, n_accesses)
             for a in workload.apps}
+        meta["accesses"] = n_accesses * len(workload.apps)
         return collect_metrics(config.name, policy_name, workload.name,
                                results, memsys, meta=meta)
 

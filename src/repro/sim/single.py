@@ -80,10 +80,13 @@ def filtered_stream(app_name: str, input_name: str, n_accesses: int,
             if cached is not None:
                 _filter_provenance[(app_name, input_name, n_accesses)] = {
                     "engine": "store", "from_store": True}
+                OBS.add("filter.store_hits")
                 return cached
         trace = build_app_trace(app_name, input_name, n_accesses)
         hierarchy = CacheHierarchy()
         result = hierarchy.filter_trace(trace, fast_path=fast_path)
+        OBS.add("filter.computed")
+        OBS.add("filter.accesses", n_accesses)
         _filter_provenance[(app_name, input_name, n_accesses)] = {
             "engine": hierarchy.last_engine, "from_store": False}
         if store is not None:
@@ -171,6 +174,7 @@ def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
         meta["placement"] = plan.stats.to_dict()
         meta["fast_path"] = core.fast_path
         meta["filter"] = filter_provenance(app_name, input_name, n_accesses)
+        meta["accesses"] = n_accesses
         return collect_metrics(config.name, policy_name, app_name,
                                [result], memsys, meta=meta)
 

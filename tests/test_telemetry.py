@@ -1,0 +1,658 @@
+"""Campaign telemetry: merge laws, capture, dashboard, bench, CLI.
+
+Three layers of coverage:
+
+* **Algebra** (hypothesis) — ``LogHistogram`` / ``SpanStats`` /
+  ``CampaignTelemetry`` merges are associative and fold-order
+  independent, percentile estimates sit within one log2 bin of the
+  truth, and ``to_dict``/``from_dict`` round-trips are lossless (the
+  manifest's ``telemetry`` block is exactly reconstructible).
+* **Capture** — ``begin_unit``/``end_unit`` take a registry *delta*,
+  restore a disabled registry (the PR 1 disabled-by-default contract),
+  and ship warnings raised by quieted workers back for a single
+  parent-side reprint.
+* **Acceptance** — a real ``fig08 --fidelity tiny`` campaign through the
+  CLI ``main()``: the manifest telemetry block is consistent with the
+  run (unit count, access totals, summed wall time, worker map), the
+  ``telemetry.jsonl`` / ``trace.json`` artefacts are well-formed, a
+  cache-warm rerun accounts every unit as cached, and figure rows are
+  byte-identical with telemetry disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import engine
+from repro.experiments import runner as _runner
+from repro.experiments.__main__ import main as exp_main
+from repro.obs import bench
+from repro.obs import telemetry as obstel
+from repro.obs.dashboard import HEARTBEAT_NAME, Dashboard
+from repro.obs.progress import supports_repaint
+from repro.obs.registry import ENV_QUIET, OBS, Registry
+from repro.obs.telemetry import (
+    CampaignTelemetry,
+    LogHistogram,
+    SpanStats,
+    UnitTelemetry,
+)
+from repro.sim.spec import RunSpec
+from repro.workloads.spec import APPS
+
+# Env vars that would change campaign behaviour under test.
+_CAMPAIGN_ENV = ("REPRO_WORKERS", "REPRO_OVERSUBSCRIBE", "REPRO_CACHE_DIR",
+                 "REPRO_UNIT_TIMEOUT", "REPRO_MAX_ATTEMPTS", "REPRO_CHAOS_DIR",
+                 "REPRO_FAST_PATH", "REPRO_TELEMETRY", "REPRO_PROFILE",
+                 "REPRO_BENCH_HISTORY", ENV_QUIET)
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    for var in _CAMPAIGN_ENV:
+        monkeypatch.delenv(var, raising=False)
+
+
+# ---- hypothesis strategies --------------------------------------------------
+
+values = st.integers(min_value=0, max_value=1 << 40)
+value_lists = st.lists(values, max_size=30)
+
+span_stats = st.builds(
+    lambda vals: _stats_from(vals), st.lists(values, max_size=10))
+
+
+def _stats_from(vals: list[int]) -> SpanStats:
+    s = SpanStats()
+    for v in vals:
+        s.record(v)
+    return s
+
+
+unit_telemetries = st.builds(
+    UnitTelemetry,
+    pid=st.integers(1, 4),
+    label=st.sampled_from(["a", "b", "c"]),
+    wall_ns=st.integers(0, 10**9),
+    utime_us=st.integers(0, 10**6),
+    stime_us=st.integers(0, 10**6),
+    peak_rss_kb=st.integers(0, 10**6),
+    gc_collections=st.integers(0, 50),
+    accesses=st.integers(0, 10**6),
+    filter_accesses=st.integers(0, 10**6),
+    engine=st.sampled_from([None, "kernel", "reference"]),
+    filter_sources=st.dictionaries(
+        st.sampled_from(["kernel", "reference", "store", "memo"]),
+        st.integers(1, 5), max_size=3),
+    counters=st.dictionaries(st.sampled_from(["x", "y", "z"]),
+                             st.integers(1, 100), max_size=3),
+    spans=st.dictionaries(st.sampled_from(["core_replay", "cache_filter"]),
+                          span_stats, max_size=2),
+    warnings=st.dictionaries(st.sampled_from(["k1", "k2"]),
+                             st.sampled_from(["msg a", "msg b"]), max_size=2),
+)
+
+
+def _fold(units: list[UnitTelemetry]) -> CampaignTelemetry:
+    ct = CampaignTelemetry()
+    for ut in units:
+        ct.add_unit(ut)
+    return ct
+
+
+# ---- LogHistogram -----------------------------------------------------------
+
+
+class TestLogHistogram:
+    def test_bins_and_count(self):
+        h = LogHistogram()
+        for v in (0, 1, 2, 3, 1000):
+            h.record(v)
+        assert h.n == 5
+        assert sum(h.bins.values()) == 5
+
+    def test_empty_percentile_is_zero(self):
+        assert LogHistogram().percentile(0.5) == 0
+
+    @given(value_lists.filter(bool), st.sampled_from([0.5, 0.95, 0.99]))
+    @settings(max_examples=80)
+    def test_percentile_within_one_bin(self, vals, q):
+        """Estimate >= true quantile and <= 2x (one log2 bin width)."""
+        h = _hist_from(vals)
+        est = h.percentile(q)
+        ordered = sorted(vals)
+        true = ordered[max(1, math.ceil(q * len(vals))) - 1]
+        assert est >= true
+        assert est <= max(1, 2 * true)
+
+    @given(value_lists, value_lists, value_lists)
+    @settings(max_examples=60)
+    def test_merge_associative(self, a, b, c):
+        ha, hb, hc = _hist_from(a), _hist_from(b), _hist_from(c)
+        assert ha.merge(hb).merge(hc) == ha.merge(hb.merge(hc))
+
+    @given(value_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_fold_order_independent(self, vals, rnd):
+        shuffled = list(vals)
+        rnd.shuffle(shuffled)
+        assert _hist_from(vals) == _hist_from(shuffled)
+
+    @given(value_lists)
+    @settings(max_examples=60)
+    def test_round_trip(self, vals):
+        h = _hist_from(vals)
+        assert LogHistogram.from_dict(
+            json.loads(json.dumps(h.to_dict()))) == h
+
+    def test_merge_mutates_neither(self):
+        a, b = _hist_from([1, 2]), _hist_from([3])
+        a.merge(b)
+        assert a.n == 2 and b.n == 1
+
+
+def _hist_from(vals: list[int]) -> LogHistogram:
+    h = LogHistogram()
+    for v in vals:
+        h.record(v)
+    return h
+
+
+# ---- CampaignTelemetry algebra ---------------------------------------------
+
+
+class TestCampaignMerge:
+    @given(st.lists(unit_telemetries, max_size=6),
+           st.lists(unit_telemetries, max_size=6),
+           st.lists(unit_telemetries, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        ca, cb, cc = _fold(a), _fold(b), _fold(c)
+        assert ca.merge(cb).merge(cc) == ca.merge(cb.merge(cc))
+
+    @given(st.lists(unit_telemetries, max_size=10),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_fold_order_independent(self, units, rnd):
+        shuffled = list(units)
+        rnd.shuffle(shuffled)
+        assert _fold(units) == _fold(shuffled)
+
+    @given(st.lists(unit_telemetries, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_lossless(self, units):
+        """The manifest telemetry block reconstructs the aggregate exactly."""
+        ct = _fold(units)
+        back = CampaignTelemetry.from_dict(json.loads(json.dumps(
+            ct.to_dict())))
+        assert back == ct
+        assert back.to_dict() == ct.to_dict()
+
+    @given(unit_telemetries)
+    @settings(max_examples=40, deadline=None)
+    def test_singleton_fold_equals_unit(self, ut):
+        ct = _fold([ut])
+        assert ct.units == 1
+        assert ct.wall_ns == ut.wall_ns
+        assert ct.accesses == ut.accesses
+        assert ct.counters == ut.counters
+        assert set(ct.workers) == {str(ut.pid)}
+
+    def test_merge_mutates_neither(self):
+        a = _fold([UnitTelemetry(pid=1, wall_ns=5, counters={"x": 1})])
+        b = _fold([UnitTelemetry(pid=1, wall_ns=7, counters={"x": 2})])
+        merged = a.merge(b)
+        assert merged.wall_ns == 12 and merged.counters == {"x": 3}
+        assert a.wall_ns == 5 and b.wall_ns == 7
+
+    def test_warning_dedup_counts_and_min_message(self):
+        u1 = UnitTelemetry(pid=1, warnings={"k": "zebra"})
+        u2 = UnitTelemetry(pid=2, warnings={"k": "aardvark"})
+        ct = _fold([u1, u2])
+        assert ct.warnings == {
+            "k": {"count": 2, "message": "aardvark"}}
+
+    def test_hot_spans_ranked_by_total(self):
+        ct = _fold([UnitTelemetry(
+            pid=1, spans={"slow": _stats_from([100, 100]),
+                          "fast": _stats_from([10])})])
+        assert [n for n, _ in ct.hot_spans(2)] == ["slow", "fast"]
+
+
+# ---- capture protocol -------------------------------------------------------
+
+
+class TestCapture:
+    def test_owned_capture_restores_disabled_registry(self):
+        reg = Registry()
+        assert not reg.enabled
+        cap = obstel.begin_unit(reg)
+        assert reg.enabled  # capture enabled it
+        with reg.span("core_replay"):
+            reg.add("filter.accesses", 42)
+        ut = obstel.end_unit(cap, label="unit-x",
+                             meta={"fast_path": True, "accesses": 7,
+                                   "filter": {"engine": "kernel"}})
+        assert not reg.enabled  # ... and re-disabled it
+        assert reg.events == []  # ... trimming the events it recorded
+        assert ut.label == "unit-x"
+        assert ut.pid == os.getpid()
+        assert ut.engine == "kernel"
+        assert ut.accesses == 7
+        assert ut.filter_accesses == 42
+        assert ut.filter_sources == {"kernel": 1}
+        assert "core_replay" in ut.spans
+        assert ut.spans["core_replay"].count == 1
+        assert ut.wall_ns > 0
+
+    def test_enabled_registry_left_alone_and_delta_only(self):
+        reg = Registry()
+        reg.enable()
+        reg.add("pre.existing", 5)
+        with reg.span("before"):
+            pass
+        n_before = len(reg.events)
+        cap = obstel.begin_unit(reg)
+        reg.add("pre.existing", 3)
+        ut = obstel.end_unit(cap)
+        assert reg.enabled
+        assert len(reg.events) >= n_before  # events kept (parent lane)
+        assert ut.counters == {"pre.existing": 3}  # delta, not absolute
+        assert "before" not in ut.spans
+
+    def test_abort_unit_restores_owned_registry(self):
+        reg = Registry()
+        cap = obstel.begin_unit(reg)
+        reg.add("junk", 1)
+        obstel.abort_unit(cap)
+        assert not reg.enabled
+        assert reg.events == []
+
+    def test_new_warnings_shipped_with_delta(self):
+        reg = Registry()
+        reg.warn("old news", key="old")
+        cap = obstel.begin_unit(reg)
+        reg.warn("fresh problem", key="fresh")
+        ut = obstel.end_unit(cap)
+        assert ut.warnings == {"fresh": "fresh problem"}
+
+    def test_filter_sources_multicore_map(self):
+        reg = Registry()
+        cap = obstel.begin_unit(reg)
+        ut = obstel.end_unit(cap, meta={"filter": {
+            "mcf": {"engine": "kernel"}, "lbm": None,
+            "gcc": {"engine": "store"}}})
+        assert ut.filter_sources == {"kernel": 1, "memo": 1, "store": 1}
+
+
+class TestWarnDedup:
+    def test_quiet_env_suppresses_print_but_records(self, capfd, monkeypatch):
+        reg = Registry()
+        monkeypatch.setenv(ENV_QUIET, "1")
+        reg.warn("muzzled", key="m")
+        assert "muzzled" not in capfd.readouterr().err
+        assert reg._warned == {"m": "muzzled"}
+
+    def test_force_overrides_quiet(self, capfd, monkeypatch):
+        reg = Registry()
+        monkeypatch.setenv(ENV_QUIET, "1")
+        reg.warn("audible", key="a", force=True)
+        assert "audible" in capfd.readouterr().err
+
+    def test_multi_worker_warning_printed_once(self, capfd, clean_env,
+                                               monkeypatch):
+        """Slow-path warning raised in 2 quieted workers lands on stderr
+        exactly once, via the parent's fold-time reprint."""
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_OVERSUBSCRIBE", "1")
+        monkeypatch.setenv("REPRO_FAST_PATH", "0")
+        specs = [RunSpec(workload=a, config="Homogen-DDR3",
+                         policy="homogen", n_accesses=2000)
+                 for a in ("mcf", "milc", "lbm", "gcc")]
+        engine.reset()
+        try:
+            engine.configure(None)
+            engine.configure_telemetry(True)
+            engine.execute(specs, phase="dedup-test")
+            ct = engine.campaign_telemetry()
+            assert ct.units == 4
+            assert len(ct.workers) == 2
+            assert "slow-path" in ct.warnings
+            err = capfd.readouterr().err
+            assert err.count("fast paths disabled") == 1
+        finally:
+            engine.reset()
+            OBS.reset().disable()
+
+
+class TestMergedTrace:
+    def test_out_of_process_unit_gets_worker_lane(self):
+        reg = Registry()
+        ut = UnitTelemetry(
+            pid=os.getpid() + 1, label="mcf|sys", wall_start=100.0,
+            events=[{"type": "span", "span_id": 1, "parent_id": 0,
+                     "name": "core_replay", "depth": 0,
+                     "start_ns": 10_000, "end_ns": 40_000, "args": {}}])
+        doc = obstel.merged_trace_doc(reg, [ut])
+        events = doc["traceEvents"]
+        lanes = {e["args"]["name"]: e["pid"] for e in events
+                 if e.get("name") == "process_name"}
+        assert f"worker {ut.pid}" in lanes
+        span = next(e for e in events if e.get("ph") == "X")
+        assert span["pid"] == ut.pid
+        assert span["dur"] == pytest.approx(30.0)  # 30_000 ns -> 30 us
+        assert span["args"]["unit"] == "mcf|sys"
+
+    def test_in_parent_units_skipped_when_registry_enabled(self):
+        reg = Registry()
+        reg.enable()
+        with reg.span("core_replay"):
+            pass
+        ut = UnitTelemetry(
+            pid=os.getpid(), label="dup", wall_start=100.0,
+            events=[{"type": "span", "span_id": 1, "parent_id": 0,
+                     "name": "core_replay", "depth": 0,
+                     "start_ns": 10, "end_ns": 20, "args": {}}])
+        doc = obstel.merged_trace_doc(reg, [ut])
+        dup = [e for e in doc["traceEvents"]
+               if e.get("args", {}).get("unit") == "dup"]
+        assert dup == []  # already in the parent lane; not duplicated
+
+
+# ---- dashboard --------------------------------------------------------------
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestDashboard:
+    def test_non_tty_stream_uses_plain_lines(self, tmp_path):
+        import io
+        out = io.StringIO()
+        assert not supports_repaint(out)
+        clock = _FakeClock()
+        dash = Dashboard(stream=out, clock=clock,
+                         heartbeat_path=tmp_path / HEARTBEAT_NAME,
+                         stats_provider=lambda: {
+                             "cache": {"hit_ratio": 0.5},
+                             "hot_spans": [("core_replay", 1.5)]})
+        dash.campaign_begin(["fig08"], "tiny")
+        dash.figure_begin("fig08")
+        dash.on_event({"kind": "phase_begin", "phase": "p", "total": 4,
+                       "cached": 1})
+        clock.t += 10.0
+        for _ in range(3):
+            dash.on_event({"kind": "unit_done", "phase": "p",
+                           "label": "u", "ok": True})
+            clock.t += 10.0
+        dash.figure_end("fig08", "ok")
+        dash.campaign_end()
+        text = out.getvalue()
+        assert "\r" not in text  # plain lines, no repaints
+        assert "units 4/4" in text
+        assert "(1 cached)" in text
+        assert "cache 0.50" in text
+        assert "hot core_replay:1.5s" in text
+        assert "fig08: ok" in text
+        assert text.strip().endswith("| done")
+
+    def test_heartbeat_written_atomically(self, tmp_path):
+        import io
+        clock = _FakeClock()
+        hb = tmp_path / HEARTBEAT_NAME
+        dash = Dashboard(stream=io.StringIO(), clock=clock,
+                         heartbeat_path=hb)
+        dash.campaign_begin(["smoke"], "tiny")
+        dash.on_event({"kind": "phase_begin", "phase": "p", "total": 2,
+                       "cached": 0})
+        dash.on_event({"kind": "unit_done", "phase": "p", "label": "u",
+                       "ok": False})
+        dash.figure_end("smoke", "ok")
+        doc = json.loads(hb.read_text())
+        assert doc["units_done"] == 1
+        assert doc["units_total"] == 2
+        assert doc["failed_units"] == 1
+        assert doc["figures_done"] == 1
+        assert not hb.with_suffix(hb.suffix + ".tmp").exists()
+
+    def test_throughput_and_eta(self):
+        import io
+        clock = _FakeClock()
+        dash = Dashboard(stream=io.StringIO(), clock=clock)
+        dash.campaign_begin(["x"], "tiny")
+        dash.on_event({"kind": "phase_begin", "phase": "p", "total": 10,
+                       "cached": 0})
+        for _ in range(5):
+            clock.t += 1.0
+            dash.on_event({"kind": "unit_done", "phase": "p", "label": "u",
+                           "ok": True})
+        assert dash.throughput() == pytest.approx(1.0)
+        assert dash.eta_seconds() == pytest.approx(5.0)
+
+    def test_stats_provider_errors_swallowed(self):
+        import io
+
+        def boom():
+            raise RuntimeError("stats broke")
+
+        dash = Dashboard(stream=io.StringIO(), clock=_FakeClock(),
+                         stats_provider=boom)
+        dash.campaign_begin(["x"], "tiny")  # must not raise
+
+
+# ---- bench history ----------------------------------------------------------
+
+
+class TestBench:
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        bench.append_record({"kind": "campaign", "fidelity": "tiny",
+                             "replay_acc_per_s": 100.0}, path)
+        bench.append_record({"kind": "campaign", "fidelity": "tiny",
+                             "replay_acc_per_s": 110.0}, path)
+        records = bench.read_history(path)
+        assert len(records) == 2
+        assert all(r["schema"] == bench.BENCH_SCHEMA for r in records)
+        assert all("host" in r for r in records)
+
+    def test_campaign_record_fields(self):
+        ct = CampaignTelemetry()
+        ct.add_unit(UnitTelemetry(
+            pid=1, wall_ns=2 * 10**9, accesses=1000, filter_accesses=500,
+            spans={"core_replay": _stats_from([10**9]),
+                   "cache_filter": _stats_from([10**9])}))
+        rec = bench.campaign_record("tiny", ct,
+                                    cache={"hit_ratio": 0.25})
+        assert rec["kind"] == "campaign"
+        assert rec["units"] == 1
+        assert rec["replay_acc_per_s"] == pytest.approx(1000.0)
+        assert rec["filter_acc_per_s"] == pytest.approx(500.0)
+        assert rec["cache_hit_ratio"] == 0.25
+        assert rec["phase_seconds"]["core_replay"] == pytest.approx(1.0)
+
+    def test_trend_regression_flagged(self, tmp_path):
+        host = bench.host_fingerprint()
+        history = [
+            {"kind": "campaign", "host": host, "fidelity": "tiny",
+             "replay_acc_per_s": 1000.0, "filter_acc_per_s": 900.0}
+            for _ in range(3)
+        ] + [{"kind": "campaign", "host": host, "fidelity": "tiny",
+              "replay_acc_per_s": 100.0, "filter_acc_per_s": 900.0}]
+        flags = bench.check_regressions(history, baseline_dir=tmp_path)
+        assert len(flags) == 1
+        assert "replay_acc_per_s" in flags[0]
+
+    def test_hotpath_floor_regression(self, tmp_path):
+        (tmp_path / "hotpath_baseline.json").write_text(
+            json.dumps({"speedup": 10.0}))
+        history = [{"kind": "hotpath", "replay_speedup": 2.0}]
+        flags = bench.check_regressions(history, baseline_dir=tmp_path)
+        assert flags and "replay_speedup" in flags[0]
+        ok = [{"kind": "hotpath", "replay_speedup": 9.0}]
+        assert bench.check_regressions(ok, baseline_dir=tmp_path) == []
+
+    def test_cross_host_records_not_compared(self, tmp_path):
+        other = {**bench.host_fingerprint(), "node": "elsewhere"}
+        history = [
+            {"kind": "campaign", "host": other, "fidelity": "tiny",
+             "replay_acc_per_s": 10000.0},
+            {"kind": "campaign", "host": bench.host_fingerprint(),
+             "fidelity": "tiny", "replay_acc_per_s": 100.0},
+        ]
+        assert bench.check_regressions(history, baseline_dir=tmp_path) == []
+
+    def test_report_main_round_trip(self, tmp_path, capsys, clean_env):
+        hist = tmp_path / "hist.jsonl"
+        bench.append_record({"kind": "campaign", "fidelity": "tiny",
+                             "replay_acc_per_s": 123.0}, hist)
+        out_path = tmp_path / "summary.json"
+        rc = exp_main(["bench-report", "--history", str(hist),
+                       "--out", str(out_path)])
+        assert rc == 0
+        assert "bench history: 1 records" in capsys.readouterr().out
+        summary = json.loads(out_path.read_text())
+        assert summary["history_records"] == 1
+        assert summary["regressions"] == []
+        assert summary["latest_campaign"]["replay_acc_per_s"] == 123.0
+
+    def test_report_main_missing_hotpath_dir(self, tmp_path, clean_env):
+        rc = exp_main(["bench-report", "--history",
+                       str(tmp_path / "h.jsonl"),
+                       "--record-hotpath", str(tmp_path / "empty")])
+        assert rc == 2
+
+    def test_report_main_records_hotpath(self, tmp_path, clean_env):
+        bdir = tmp_path / "bench"
+        bdir.mkdir()
+        (bdir / "BENCH_hotpath.json").write_text(json.dumps(
+            {"speedup": 8.0, "fast_records_per_sec": 1e6}))
+        hist = tmp_path / "h.jsonl"
+        rc = exp_main(["bench-report", "--history", str(hist),
+                       "--record-hotpath", str(bdir),
+                       "--baseline-dir", str(tmp_path)])
+        assert rc == 0
+        records = bench.read_history(hist)
+        assert records[-1]["kind"] == "hotpath"
+        assert records[-1]["replay_speedup"] == 8.0
+
+
+# ---- acceptance: real campaign through the CLI ------------------------------
+
+FIG08_SYSTEMS = 6  #: columns beside the app name in fig08
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """One cold ``fig08 --fidelity tiny`` campaign, telemetry on."""
+    base = tmp_path_factory.mktemp("telemetry_campaign")
+    save, cache = base / "save", base / "cache"
+    saved_env = {k: os.environ.pop(k) for k in _CAMPAIGN_ENV
+                 if k in os.environ}
+    _runner.single_sweep.cache_clear()
+    try:
+        rc = exp_main(["fig08", "--fidelity", "tiny", "--save", str(save),
+                       "--cache-dir", str(cache)])
+    finally:
+        os.environ.update(saved_env)
+    assert rc == 0
+    return save, cache
+
+
+class TestCampaignAcceptance:
+    def test_manifest_telemetry_consistent_with_run(self, campaign):
+        save, _ = campaign
+        doc = json.loads((save / "manifest.json").read_text())
+        telem = doc["telemetry"]
+        n_units = len(APPS) * FIG08_SYSTEMS
+        fidelity = _runner.FIDELITIES["tiny"]
+        assert telem["version"] == obstel.TELEMETRY_VERSION
+        assert telem["units"] == n_units
+        assert telem["cached_units"] == 0
+        assert telem["failed_units"] == 0
+        assert telem["accesses"] == n_units * fidelity.n_single
+        assert telem["wall_ns"] > 0
+        # Worker map is consistent: per-worker unit counts and busy time
+        # sum to the campaign totals.
+        workers = telem["workers"]
+        assert len(workers) >= 1
+        assert sum(w["units"] for w in workers.values()) == n_units
+        assert sum(w["busy_ns"] for w in workers.values()) == telem["wall_ns"]
+        # Hot phases of the simulation appear as merged spans with
+        # percentiles, one closed span per unit.
+        for name in ("core_replay", "placement"):
+            span = telem["spans"][name]
+            assert span["count"] == n_units
+            assert 0 < span["p50_ns"] <= span["p95_ns"] <= span["p99_ns"]
+            assert span["total_ns"] <= telem["wall_ns"]
+        assert telem["engines"]  # kernel or reference, but recorded
+
+    def test_manifest_block_round_trips(self, campaign):
+        save, _ = campaign
+        doc = json.loads((save / "manifest.json").read_text())
+        ct = CampaignTelemetry.from_dict(doc["telemetry"])
+        assert ct.to_dict() == doc["telemetry"]
+
+    def test_telemetry_jsonl_structure(self, campaign):
+        save, _ = campaign
+        lines = [json.loads(line) for line in
+                 (save / "telemetry.jsonl").read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert lines[-1]["type"] == "campaign"
+        units = [ln for ln in lines if ln["type"] == "unit"]
+        assert len(units) == lines[-1]["units"]
+        # The campaign line is exactly the fold of the unit lines.
+        folded = _fold([UnitTelemetry.from_dict(u) for u in units])
+        assert folded.wall_ns == lines[-1]["wall_ns"]
+        assert folded.counters == lines[-1]["counters"]
+        assert folded.accesses == lines[-1]["accesses"]
+
+    def test_trace_json_merges_all_unit_lanes(self, campaign):
+        save, _ = campaign
+        doc = json.loads((save / "trace.json").read_text())
+        events = doc["traceEvents"]
+        unit_spans = [e for e in events if e.get("ph") == "X"
+                      and e.get("args", {}).get("unit")]
+        assert unit_spans
+        assert all("ts" in e and "dur" in e for e in unit_spans)
+        labels = {e["args"]["unit"] for e in unit_spans}
+        assert len(labels) == len(APPS) * FIG08_SYSTEMS
+
+    def test_warm_rerun_accounts_cached_units(self, campaign, clean_env):
+        save, cache = campaign
+        _runner.single_sweep.cache_clear()
+        rc = exp_main(["fig08", "--fidelity", "tiny", "--save", str(save),
+                       "--cache-dir", str(cache), "--no-resume"])
+        assert rc == 0
+        telem = json.loads((save / "manifest.json").read_text())["telemetry"]
+        assert telem["units"] == 0
+        assert telem["cached_units"] == len(APPS) * FIG08_SYSTEMS
+
+    def test_rows_identical_without_telemetry(self, campaign, tmp_path,
+                                              clean_env):
+        """--no-telemetry must not perturb a single figure number."""
+        save, cache = campaign
+        off = tmp_path / "off"
+        _runner.single_sweep.cache_clear()
+        # --no-cache forces a cold recompute, so the comparison covers
+        # the simulation path, not just cached-artefact integrity.
+        rc = exp_main(["fig08", "--fidelity", "tiny", "--save", str(off),
+                       "--no-cache", "--no-telemetry"])
+        assert rc == 0
+        rows_on = json.loads((save / "fig08.json").read_text())["rows"]
+        rows_off = json.loads((off / "fig08.json").read_text())["rows"]
+        assert rows_on == rows_off
+        manifest = json.loads((off / "manifest.json").read_text())
+        assert "telemetry" not in manifest
+        assert not (off / "telemetry.jsonl").exists()
+        assert not (off / "trace.json").exists()
