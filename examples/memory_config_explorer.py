@@ -9,10 +9,9 @@ paper's choice of config1.
 Run:  python examples/memory_config_explorer.py
 """
 
-import warnings
-
-from repro import run_multi
+from repro import RunSpec, run
 from repro.sim.config import (
+    ALL_SYSTEMS,
     GroupSpec,
     HETER_CONFIG1,
     HETER_CONFIG2,
@@ -21,6 +20,9 @@ from repro.sim.config import (
 )
 
 # A configuration the paper did not test: all-premium, no LPDDR at all.
+# Registering it in ALL_SYSTEMS makes it addressable by name in a
+# RunSpec, so it runs through run() (and the sweep engine / result
+# cache) like any built-in system.
 NO_LP = SystemConfig(
     name="Heter-noLP",
     groups=(
@@ -28,21 +30,18 @@ NO_LP = SystemConfig(
         GroupSpec("bw", "HBM", 2, 512),
     ),
 )
+ALL_SYSTEMS[NO_LP.name] = NO_LP
 
 MIX = "2L1B1N"
+N_ACCESSES = 60_000
 
 
 def main() -> None:
     print(f"workload set: {MIX}\n")
     rows = []
     for config in (HETER_CONFIG1, HETER_CONFIG2, HETER_CONFIG3, NO_LP):
-        # NO_LP is not registered in ALL_SYSTEMS, so it cannot be named
-        # by a RunSpec; ad-hoc SystemConfig objects go through the legacy
-        # run_multi entry point (kept for exactly this use).
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            het = run_multi(MIX, config, "heter-app")
-            moca = run_multi(MIX, config, "moca")
+        het = run(RunSpec(MIX, config.name, "heter-app", N_ACCESSES))
+        moca = run(RunSpec(MIX, config.name, "moca", N_ACCESSES))
         rows.append((config, het, moca))
 
     base_het, base_moca = rows[0][1], rows[0][2]

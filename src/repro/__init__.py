@@ -30,7 +30,12 @@ Quickstart::
 A :class:`~repro.sim.spec.RunSpec` fully identifies a run; the sweep
 engine (:mod:`repro.experiments.engine`) schedules specs across worker
 processes and caches their results on disk keyed by the spec's content
-hash.  ``run_single``/``run_multi`` remain as deprecated aliases.
+hash.  The spec's ``policy`` field names a policy from the pluggable
+registry (:mod:`repro.moca.policy`) — the stock trio plus the
+capacity-aware ``knapsack`` and learned ``ranker`` policies, or anything
+registered via :func:`~repro.moca.policy.register_policy`.  The old
+``run_single``/``run_multi`` aliases were removed after their
+deprecation cycle.
 """
 
 from repro.memdev import DDR3, HBM, LPDDR2, RLDRAM3, DeviceTiming, MemoryModule
@@ -39,18 +44,23 @@ from repro.cpu import CacheHierarchy, CoreParams, InOrderWindowCore, SetAssocCac
 from repro.trace import AccessTrace, ObjectBehavior, TraceBuilder
 from repro.vm import FramePool, ObjectType, OSPageAllocator, PageTable, TLB
 from repro.moca import (
+    CapacityBudget,
+    ClassificationPolicy,
     HeterAppPolicy,
     HomogeneousPolicy,
     InstrumentedApp,
     MocaFramework,
     MocaPolicy,
     ObjectName,
+    PolicySpec,
     ProfileLUT,
     Thresholds,
     classify_object,
     name_from_python_stack,
     name_from_site,
     plan_placement,
+    policy_names,
+    register_policy,
 )
 from repro.faults import FaultPlan
 from repro.moca.profiler import profile_app
@@ -67,8 +77,6 @@ from repro.sim import (
     RunSpec,
     SystemConfig,
     run,
-    run_multi,
-    run_single,
 )
 from repro.workloads import APPS, APP_CLASSES, MIXES, build_app_trace, mix
 from repro.experiments.runner import (
@@ -79,7 +87,17 @@ from repro.experiments.runner import (
     single_sweep,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    # Removed pre-RunSpec entry points: surface the migration hint from
+    # repro.sim (AttributeError on access, ImportError on from-import).
+    if name in ("run_single", "run_multi"):
+        from repro.sim import multi, single
+        getattr(single if name == "run_single" else multi, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     # devices & controllers
@@ -95,15 +113,15 @@ __all__ = [
     # faults
     "FaultPlan",
     # moca
-    "HeterAppPolicy", "HomogeneousPolicy", "InstrumentedApp",
-    "MocaFramework", "MocaPolicy", "ObjectName", "ProfileLUT",
-    "Thresholds", "classify_object", "name_from_python_stack",
-    "name_from_site", "plan_placement", "profile_app",
+    "CapacityBudget", "ClassificationPolicy", "HeterAppPolicy",
+    "HomogeneousPolicy", "InstrumentedApp", "MocaFramework", "MocaPolicy",
+    "ObjectName", "PolicySpec", "ProfileLUT", "Thresholds",
+    "classify_object", "name_from_python_stack", "name_from_site",
+    "plan_placement", "policy_names", "profile_app", "register_policy",
     # sim
     "ALL_SYSTEMS", "HETER_CONFIG1", "HETER_CONFIG2", "HETER_CONFIG3",
     "HOMOGEN_DDR3", "HOMOGEN_HBM", "HOMOGEN_LP", "HOMOGEN_RL",
     "RunMetrics", "RunSpec", "SystemConfig", "run",
-    "run_multi", "run_single",
     # experiments
     "Fidelity", "FigureResult",
     "single_sweep", "multi_sweep", "config_sweep",

@@ -18,6 +18,7 @@ import sys
 
 from repro.experiments import engine
 from repro.moca.classify import classify_object, type_to_class_letter
+from repro.moca.policy import policy_names
 from repro.moca.profiler import profile_app
 from repro.obs import OBS, ProgressReporter, write_chrome_trace, write_jsonl
 from repro.sim.config import ALL_SYSTEMS
@@ -195,8 +196,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("app", choices=sorted(APPS))
     p.add_argument("--system", default="Heter-config1",
                    choices=sorted(ALL_SYSTEMS))
-    p.add_argument("--policy", default="moca",
-                   choices=("homogen", "heter-app", "moca"))
+    p.add_argument("--policy", default="moca", metavar="POLICY",
+                   help="registered placement policy, optionally "
+                        "parameterized as name:k=v,... (e.g. "
+                        "'knapsack:fast_mb=128'); registered: "
+                        f"{', '.join(policy_names())}")
     p.add_argument("--accesses", type=int, default=120_000)
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
@@ -210,8 +214,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("mix", choices=MIX_NAMES)
     p.add_argument("--system", default="Heter-config1",
                    choices=sorted(ALL_SYSTEMS))
-    p.add_argument("--policy", default="moca",
-                   choices=("homogen", "heter-app", "moca"))
+    p.add_argument("--policy", default="moca", metavar="POLICY",
+                   help="registered placement policy, optionally "
+                        "parameterized as name:k=v,... (e.g. "
+                        "'knapsack:fast_mb=128'); registered: "
+                        f"{', '.join(policy_names())}")
     p.add_argument("--accesses", type=int, default=60_000)
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")

@@ -61,9 +61,9 @@ from repro.obs import OBS, Dashboard, ProgressReporter, run_meta, \
 from repro.obs import telemetry as obstel
 from repro.obs.dashboard import HEARTBEAT_NAME
 from repro.experiments import (
-    devices, fig01, fig02, fig08, fig09, fig10, fig11, fig12, fig13,
-    fig14, fig15, fig16, headline, overhead, resilience_sweep, smoke,
-    tables, taillat, thresholds_sweep, variance,
+    capacity_sweep, devices, fig01, fig02, fig08, fig09, fig10, fig11,
+    fig12, fig13, fig14, fig15, fig16, headline, overhead,
+    resilience_sweep, smoke, tables, taillat, thresholds_sweep, variance,
 )
 
 EXPERIMENTS = {
@@ -84,6 +84,7 @@ EXPERIMENTS = {
     "overhead": overhead.compute,
     "headline": headline.compute,
     "thresholds": thresholds_sweep.compute,
+    "capacity": capacity_sweep.compute,
     "devices": devices.compute,
     "variance": variance.compute,
     "taillat": taillat.compute,

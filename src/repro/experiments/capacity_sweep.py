@@ -1,0 +1,83 @@
+"""Fast-tier capacity sweep (extends paper Secs. VI-A/VI-B).
+
+The paper evaluates MOCA on fixed memory-system configurations; this
+experiment asks how the placement policies trade off as the *latency
+tier shrinks or grows*.  Each swept point is a heterogeneous system
+with the RLDRAM3 tier at a different paper-scale capacity (the HBM and
+LPDDR tiers held fixed — :data:`repro.sim.config.CAPACITY_CONFIGS`),
+and each policy plans against that point's explicit
+:class:`~repro.moca.policy.CapacityBudget`:
+
+* **Heter-App** — application-granular (Phadke & Narayanasamy);
+* **MOCA** — the paper's capacity-blind threshold rule (Fig. 5);
+* **Knapsack** — threshold + greedy benefit-per-byte promotion into
+  spare fast-tier capacity (:class:`~repro.moca.policy.KnapsackClassifier`);
+* **Ranker** — the learned logistic scorer
+  (:class:`~repro.moca.ranker.RankerClassifier`).
+
+Cells are memory access time normalized per app to Homogen-DDR3, geomean
+over the app set — lower is better.  Knapsack weakly dominates MOCA at
+every point by construction: equal wherever the budget binds (the
+allocator's heat-ordered page-granular spill already implements the
+fractional-knapsack fill), strictly better wherever spare fast-tier
+capacity exists to promote into.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import engine
+from repro.experiments.runner import DEFAULT, Fidelity, FigureResult, geomean
+from repro.sim.config import CAPACITY_POINTS
+from repro.sim.spec import RunSpec
+
+APPS = ("mcf", "milc", "libquantum", "disparity")
+
+#: (column label, registered policy name) — column order of the figure.
+POLICY_COLUMNS = (
+    ("Heter-App", "heter-app"),
+    ("MOCA", "moca"),
+    ("Knapsack", "knapsack"),
+    ("Ranker", "ranker"),
+)
+
+
+def compute(fidelity: Fidelity = DEFAULT) -> FigureResult:
+    """Normalized memory access time vs fast-tier capacity, per policy."""
+    fig = FigureResult(
+        figure_id="capacity",
+        title="Fast-tier capacity sweep: memory access time vs RLDRAM "
+              "capacity (normalized to Homogen-DDR3, geomean over apps)",
+        columns=["fast_mb"] + [label for label, _ in POLICY_COLUMNS],
+    )
+    n = fidelity.n_single
+    # One flat batch — baselines plus every (capacity, policy, app) cell —
+    # so the engine schedules the whole sweep across workers at once.
+    base_specs = [RunSpec(app, "Homogen-DDR3", "homogen", n) for app in APPS]
+    cell_specs = [RunSpec(app, f"Heter-cap{mb}", policy, n)
+                  for mb in CAPACITY_POINTS
+                  for _, policy in POLICY_COLUMNS
+                  for app in APPS]
+    results = engine.execute(base_specs + cell_specs, phase="sweep.capacity")
+    base = {app: m.mem_access_cycles
+            for app, m in zip(APPS, results[:len(APPS)])}
+    cells = iter(results[len(APPS):])
+    for mb in CAPACITY_POINTS:
+        row = []
+        for _, policy in POLICY_COLUMNS:
+            ratios = [next(cells).mem_access_cycles / base[app]
+                      for app in APPS]
+            row.append(round(geomean(ratios), 3))
+        fig.add_row(mb, *row)
+    fig.notes.append(
+        f"Geomean over {APPS}; lower is better.  Expected: Knapsack "
+        "weakly dominates MOCA at every capacity — equal where the "
+        "budget binds, strictly better where spare fast-tier capacity "
+        "lets it promote dense BW/POW objects the threshold rule leaves "
+        "in slower tiers.  Heter-App overtakes object-granular policies "
+        "only once the fast tier fits whole applications (segments "
+        "included).")
+    return fig
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(compute().render())

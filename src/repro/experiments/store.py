@@ -81,6 +81,7 @@ def write_manifest(directory: str | Path, fidelity: Fidelity,
     """
     import repro
     from repro.experiments import engine
+    from repro.moca.policy import policy_names
     from repro.obs.registry import OBS
     from repro.util.rng import ROOT_SEED
 
@@ -97,6 +98,9 @@ def write_manifest(directory: str | Path, fidelity: Fidelity,
                      "n_single": fidelity.n_single,
                      "n_multi": fidelity.n_multi},
         "figures": sorted(figure_ids),
+        # The placement-policy registry at campaign time: artefacts from
+        # a build with extra registered policies say so.
+        "policies": sorted(policy_names()),
     }
     if statuses:
         doc["figure_status"] = {k: dict(v) for k, v in statuses.items()}

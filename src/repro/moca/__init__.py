@@ -13,7 +13,12 @@ The pipeline (paper Figs. 4 and 7):
    (object-level), Heter-App (application-level, Phadke & Narayanasamy),
    and the homogeneous baselines;
 5. :mod:`repro.moca.framework` — the end-to-end profile→classify→allocate
-   pipeline most callers want.
+   pipeline most callers want;
+6. :mod:`repro.moca.policy` — the pluggable placement-policy API: the
+   :class:`ClassificationPolicy` protocol, the policy registry
+   (:func:`register_policy`), capacity budgets, and the stock policies —
+   including the capacity-aware ``knapsack`` and the learned ``ranker``
+   (:mod:`repro.moca.ranker`).
 """
 
 from repro.moca.naming import ObjectName, name_from_site, name_from_python_stack
@@ -34,6 +39,23 @@ from repro.moca.allocation import (
     PlacementPlan,
 )
 from repro.moca.framework import MocaFramework, InstrumentedApp
+from repro.moca.policy import (
+    CapacityBudget,
+    ClassificationPolicy,
+    KnapsackClassifier,
+    PolicyContext,
+    PolicySpec,
+    ThresholdClassifier,
+    build_policy,
+    classified_policy,
+    policy_names,
+    register_policy,
+    select_fast_tier,
+    stock_policy_names,
+    thresholds_from_dict,
+    thresholds_to_dict,
+    unregister_policy,
+)
 from repro.moca.serialize import (
     save_lut,
     load_lut,
@@ -62,6 +84,21 @@ __all__ = [
     "PlacementPlan",
     "MocaFramework",
     "InstrumentedApp",
+    "CapacityBudget",
+    "ClassificationPolicy",
+    "KnapsackClassifier",
+    "PolicyContext",
+    "PolicySpec",
+    "ThresholdClassifier",
+    "build_policy",
+    "classified_policy",
+    "policy_names",
+    "register_policy",
+    "select_fast_tier",
+    "stock_policy_names",
+    "thresholds_from_dict",
+    "thresholds_to_dict",
+    "unregister_policy",
     "save_lut",
     "load_lut",
     "save_instrumented",

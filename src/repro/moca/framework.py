@@ -79,21 +79,24 @@ class MocaFramework:
         self.profile_accesses = profile_accesses
         self.faults = faults
 
-    def instrument(self, app_name: str,
-                   profiled: ProfiledApp | None = None) -> InstrumentedApp:
-        """Run the offline stage for one application."""
-        profiled = profiled or profile_app(
-            app_name, self.profile_input, self.profile_accesses)
+    def _apply_faults(self, profiled: ProfiledApp) -> ProfiledApp:
         if self.faults is not None and self.faults.has_lut_fault:
             # Deferred import: repro.faults is a leaf layer, but keep the
             # dependency out of the hot path for clean runs.
             from repro.faults.inject import apply_lut_faults
 
             profiled = apply_lut_faults(profiled, self.faults)
-        types = {
-            p.name: classify_object(p, self.thresholds)
-            for p in profiled.lut
-        }
+        return profiled
+
+    def profiled(self, app_name: str) -> ProfiledApp:
+        """Profile one application (training input, guidance faults
+        applied) — the classifier-agnostic half of the offline stage."""
+        return self._apply_faults(profile_app(
+            app_name, self.profile_input, self.profile_accesses))
+
+    def _instrument_one(self, app_name: str, profiled: ProfiledApp,
+                        types: "dict[ObjectName, ObjectType]",
+                        ) -> InstrumentedApp:
         heat = {
             p.name: p.llc_mpki / max(1.0, p.size_bytes / 1024.0)
             for p in profiled.lut
@@ -101,6 +104,44 @@ class MocaFramework:
         OBS.add("moca.objects_classified", len(types))
         return InstrumentedApp(app_name=app_name, types=types,
                                thresholds=self.thresholds, heat=heat)
+
+    def instrument(self, app_name: str,
+                   profiled: ProfiledApp | None = None) -> InstrumentedApp:
+        """Run the offline stage for one application (Fig. 5 thresholds).
+
+        Classifier-pluggable variants go through :meth:`instrument_many`
+        with a :class:`~repro.moca.policy.ClassificationPolicy`; this
+        method is the threshold special case and produces bit-identical
+        metadata to ``instrument_many`` with a ``ThresholdClassifier``.
+        """
+        if profiled is None:
+            profiled = profile_app(
+                app_name, self.profile_input, self.profile_accesses)
+        profiled = self._apply_faults(profiled)
+        types = {
+            p.name: classify_object(p, self.thresholds)
+            for p in profiled.lut
+        }
+        return self._instrument_one(app_name, profiled, types)
+
+    def instrument_many(self, app_names, classifier,
+                        budget=None) -> list[InstrumentedApp]:
+        """Offline stage for a set of co-running applications.
+
+        ``classifier`` follows the
+        :class:`~repro.moca.policy.ClassificationPolicy` protocol and
+        sees every core's LUT at once together with the shared fast-tier
+        ``budget`` (:class:`~repro.moca.policy.CapacityBudget`, or
+        ``None`` for unlimited) — capacity-aware policies need the
+        global view to arbitrate the tier between cores.
+        """
+        if budget is None:
+            from repro.moca.policy import UNLIMITED
+            budget = UNLIMITED
+        profs = [self.profiled(a) for a in app_names]
+        per_app_types = classifier.classify([p.lut for p in profs], budget)
+        return [self._instrument_one(a, prof, types)
+                for a, prof, types in zip(app_names, profs, per_app_types)]
 
     def runtime_types(self, instrumented: InstrumentedApp,
                       trace: AccessTrace) -> dict[int, ObjectType]:

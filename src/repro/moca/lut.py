@@ -23,6 +23,9 @@ class ObjectProfile:
     size_bytes: int = 0
     start_vaddr: int = 0
     accesses: int = 0
+    #: Store accesses out of ``accesses`` (the read/write mix feature of
+    #: the classification-policy API; see :mod:`repro.moca.policy`).
+    writes: int = 0
     llc_misses: int = 0
     load_misses: int = 0
     stall_cycles: int = 0
@@ -36,6 +39,18 @@ class ObjectProfile:
         return self.llc_misses / self.kilo_instructions
 
     @property
+    def write_frac(self) -> float:
+        """Fraction of the object's accesses that are stores.
+
+        Clamped to 1.0: ``writes`` is counted over the whole trace while
+        ``accesses`` excludes the cache-warmup prefix, so a tiny object
+        touched mostly during warmup could otherwise exceed unity.
+        """
+        if self.accesses <= 0:
+            return 0.0
+        return min(1.0, self.writes / self.accesses)
+
+    @property
     def stall_per_load_miss(self) -> float:
         """ROB head stall cycles per load miss."""
         if self.load_misses <= 0:
@@ -47,6 +62,7 @@ class ObjectProfile:
         if other.name != self.name:
             raise ValueError("cannot merge profiles of different objects")
         self.accesses += int(other.accesses * weight)
+        self.writes += int(other.writes * weight)
         self.llc_misses += int(other.llc_misses * weight)
         self.load_misses += int(other.load_misses * weight)
         self.stall_cycles += int(other.stall_cycles * weight)

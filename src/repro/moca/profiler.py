@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+import numpy as np
+
 from repro.cpu.core import CoreParams, CoreResult, InOrderWindowCore
 from repro.cpu.hierarchy import (
     CacheHierarchy,
@@ -99,6 +101,14 @@ class MemoryObjectProfiler:
 
         with OBS.span("moca.profile.lut_build"):
             ki = cache_stats.total_instructions / 1000.0
+            # Per-object store counts straight from the raw trace (the
+            # cache filter only tracks miss counters): the read/write mix
+            # is a classification feature (repro.moca.policy), not a
+            # timing input, so it never touches the filter kernel.
+            heap_writes = trace.obj_id[trace.is_write.astype(bool)]
+            heap_writes = heap_writes[heap_writes >= 0]
+            write_counts = np.bincount(heap_writes) if heap_writes.size else \
+                np.zeros(0, dtype=np.int64)
             lut = ProfileLUT(app_name)
             for obj in trace.layout.objects:
                 acc, misses = cache_stats.per_object.get(obj.obj_id, [0, 0])
@@ -108,6 +118,8 @@ class MemoryObjectProfiler:
                     size_bytes=obj.size_bytes,
                     start_vaddr=obj.vbase,
                     accesses=acc,
+                    writes=(int(write_counts[obj.obj_id])
+                            if obj.obj_id < write_counts.size else 0),
                     llc_misses=misses,
                     load_misses=result.load_misses_by_obj.get(obj.obj_id, 0),
                     stall_cycles=result.stall_by_obj.get(obj.obj_id, 0),

@@ -1,0 +1,209 @@
+"""Learned object classification: a logistic ranker over LUT features.
+
+A pure-numpy stand-in for the learning-to-rank line of work on object
+placement (e.g. arXiv:2211.02195): instead of the paper's two fixed
+thresholds, two tiny logistic models score each profiled object —
+
+* *intensive*: is the object memory-intensive at all (vs. POW)?
+* *latency*: given intensive, is it latency- (vs. bandwidth-) sensitive?
+
+Features come straight from the :class:`~repro.moca.lut.ObjectProfile`:
+log LLC MPKI, log ROB-head stall cycles per load miss, log size, and the
+read/write mix.  Training labels are the Fig. 5 threshold classes over
+the synthetic app corpus *minus* a held-out app per paper class; the
+held-out accuracy is recorded on the model so the evaluation is part of
+the artefact (and pinned by ``tests/test_policy.py``).
+
+Under a binding :class:`~repro.moca.policy.CapacityBudget`, predicted-LAT
+objects compete for the fast tier by model-confidence-weighted stall
+density, through the same :func:`~repro.moca.policy.select_fast_tier`
+greedy fill the knapsack policy uses.
+
+Deterministic by construction: fixed initialization, full-batch gradient
+descent, no random state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.moca.classify import Thresholds, classify_object
+from repro.moca.lut import ObjectProfile, ProfileLUT
+from repro.moca.naming import ObjectName
+from repro.moca.policy import CapacityBudget, UNLIMITED, select_fast_tier
+from repro.moca.profiler import profile_app
+from repro.vm.heap import ObjectType
+from repro.workloads.spec import APPS
+
+__all__ = ["FEATURE_NAMES", "HELD_OUT_APPS", "RankerClassifier",
+           "RankerModel", "train_ranker"]
+
+FEATURE_NAMES = ("log_mpki", "log_stall_per_miss", "log_size_kib",
+                 "write_frac")
+
+#: One held-out app per paper class (L/B/N) — never used for fitting,
+#: only for the recorded generalization accuracy.
+HELD_OUT_APPS = ("disparity", "tracking", "stitch")
+
+
+def _features(p: ObjectProfile) -> list[float]:
+    return [
+        math.log1p(p.llc_mpki),
+        math.log1p(p.stall_per_load_miss),
+        math.log1p(p.size_bytes / 1024.0),
+        p.write_frac,
+    ]
+
+
+def _fit_logistic(x: np.ndarray, y: np.ndarray,
+                  iters: int = 400, lr: float = 0.5,
+                  l2: float = 1e-3) -> np.ndarray:
+    """Full-batch gradient descent on ridge-regularized logistic loss.
+
+    ``x`` already carries the bias column.  Deterministic: zero init,
+    fixed step count.
+    """
+    w = np.zeros(x.shape[1])
+    n = max(1, len(y))
+    for _ in range(iters):
+        z = x @ w
+        pred = 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+        grad = x.T @ (pred - y) / n + l2 * w
+        grad[0] -= l2 * w[0]  # no penalty on the bias
+        w -= lr * grad
+    return w
+
+
+@dataclass(frozen=True)
+class RankerModel:
+    """Two fitted logistic heads plus their standardization and eval."""
+
+    feature_names: tuple[str, ...]
+    mean: tuple[float, ...]
+    scale: tuple[float, ...]
+    #: Bias-first weight vectors over the standardized features.
+    w_intensive: tuple[float, ...]
+    w_latency: tuple[float, ...]
+    train_apps: tuple[str, ...]
+    held_out_apps: tuple[str, ...]
+    #: Agreement with the threshold classes on the held-out apps.
+    held_out_accuracy: float
+
+    def _standardize(self, p: ObjectProfile) -> np.ndarray:
+        raw = np.asarray(_features(p))
+        z = (raw - np.asarray(self.mean)) / np.asarray(self.scale)
+        return np.concatenate(([1.0], z))
+
+    def _score(self, w: tuple[float, ...], p: ObjectProfile) -> float:
+        z = float(np.dot(np.asarray(w), self._standardize(p)))
+        return 1.0 / (1.0 + math.exp(-max(-30.0, min(30.0, z))))
+
+    def p_intensive(self, p: ObjectProfile) -> float:
+        """P(object is memory-intensive — not POW)."""
+        return self._score(self.w_intensive, p)
+
+    def p_latency(self, p: ObjectProfile) -> float:
+        """P(latency-sensitive | memory-intensive)."""
+        return self._score(self.w_latency, p)
+
+    def predict(self, p: ObjectProfile) -> ObjectType:
+        if self.p_intensive(p) < 0.5:
+            return ObjectType.POW
+        if self.p_latency(p) >= 0.5:
+            return ObjectType.LAT
+        return ObjectType.BW
+
+
+def _corpus(apps, thresholds: Thresholds, profile_accesses: int):
+    """(features, intensive labels, latency labels, threshold classes)."""
+    feats, y_int, y_lat, classes = [], [], [], []
+    for app in apps:
+        for p in profile_app(app, n_accesses=profile_accesses).lut:
+            cls = classify_object(p, thresholds)
+            feats.append(_features(p))
+            y_int.append(0.0 if cls is ObjectType.POW else 1.0)
+            y_lat.append(1.0 if cls is ObjectType.LAT else 0.0)
+            classes.append(cls)
+    return (np.asarray(feats), np.asarray(y_int), np.asarray(y_lat),
+            classes)
+
+
+@lru_cache(maxsize=8)
+def train_ranker(thresholds: Thresholds = Thresholds(),
+                 profile_accesses: int = 200_000) -> RankerModel:
+    """Fit (and memoize) the two logistic heads on the app corpus.
+
+    Labels are the threshold classes at ``thresholds`` — the learned
+    model distills the rule from data it can generalize from, rather
+    than needing hand-tuned cut points per system.
+    """
+    train_apps = tuple(a for a in APPS if a not in HELD_OUT_APPS)
+    x, y_int, y_lat, _ = _corpus(train_apps, thresholds, profile_accesses)
+    mean = x.mean(axis=0)
+    scale = x.std(axis=0)
+    scale[scale < 1e-9] = 1.0
+    xs = np.hstack([np.ones((len(x), 1)), (x - mean) / scale])
+    w_int = _fit_logistic(xs, y_int)
+    # The latency head only ever sees intensive objects at prediction
+    # time, so fit it on the intensive subset.
+    intensive = y_int > 0.5
+    w_lat = (_fit_logistic(xs[intensive], y_lat[intensive])
+             if intensive.any() else np.zeros(xs.shape[1]))
+
+    model = RankerModel(
+        feature_names=FEATURE_NAMES,
+        mean=tuple(float(v) for v in mean),
+        scale=tuple(float(v) for v in scale),
+        w_intensive=tuple(float(v) for v in w_int),
+        w_latency=tuple(float(v) for v in w_lat),
+        train_apps=train_apps,
+        held_out_apps=HELD_OUT_APPS,
+        held_out_accuracy=0.0,
+    )
+    held = [p for app in HELD_OUT_APPS
+            for p in profile_app(app, n_accesses=profile_accesses).lut]
+    hits = sum(1 for p in held
+               if model.predict(p) is classify_object(p, thresholds))
+    accuracy = hits / len(held) if held else 0.0
+    return dataclasses.replace(model, held_out_accuracy=accuracy)
+
+
+class RankerClassifier:
+    """:class:`~repro.moca.policy.ClassificationPolicy` over a fitted
+    :class:`RankerModel`."""
+
+    def __init__(self, model: RankerModel):
+        self.model = model
+
+    @classmethod
+    def trained(cls, thresholds: Thresholds | None = None,
+                profile_accesses: int = 200_000) -> "RankerClassifier":
+        return cls(train_ranker(thresholds or Thresholds(),
+                                profile_accesses))
+
+    def classify(self, luts: list[ProfileLUT],
+                 budget: CapacityBudget = UNLIMITED,
+                 ) -> list[dict[ObjectName, ObjectType]]:
+        assignments = [{p.name: self.model.predict(p) for p in lut}
+                       for lut in luts]
+        if budget.unlimited:
+            return assignments
+        candidates = []
+        for core, lut in enumerate(luts):
+            for p in lut:
+                if assignments[core][p.name] is ObjectType.LAT:
+                    benefit = self.model.p_latency(p) * float(p.stall_cycles)
+                    candidates.append(((core, p.name.frames), benefit,
+                                       p.size_bytes))
+        chosen = select_fast_tier(candidates, budget.fast_bytes)
+        for core, lut in enumerate(luts):
+            for p in lut:
+                if (assignments[core][p.name] is ObjectType.LAT
+                        and (core, p.name.frames) not in chosen):
+                    assignments[core][p.name] = ObjectType.BW
+        return assignments

@@ -15,7 +15,6 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.moca.classify import Thresholds
 from repro.moca.framework import InstrumentedApp
 from repro.moca.lut import ObjectProfile, ProfileLUT
 from repro.moca.naming import ObjectName
@@ -40,6 +39,7 @@ def lut_to_dict(lut: ProfileLUT) -> dict[str, Any]:
                 "size_bytes": p.size_bytes,
                 "start_vaddr": p.start_vaddr,
                 "accesses": p.accesses,
+                "writes": p.writes,
                 "llc_misses": p.llc_misses,
                 "load_misses": p.load_misses,
                 "stall_cycles": p.stall_cycles,
@@ -61,6 +61,8 @@ def lut_from_dict(data: dict[str, Any]) -> ProfileLUT:
             size_bytes=obj["size_bytes"],
             start_vaddr=obj["start_vaddr"],
             accesses=obj["accesses"],
+            # Absent in pre-read/write-mix documents.
+            writes=obj.get("writes", 0),
             llc_misses=obj["llc_misses"],
             load_misses=obj["load_misses"],
             stall_cycles=obj["stall_cycles"],
@@ -82,12 +84,15 @@ def load_lut(path: str | Path) -> ProfileLUT:
 
 def instrumented_to_dict(app: InstrumentedApp) -> dict[str, Any]:
     """Serialize the classification metadata of one application."""
+    from repro.moca.policy import thresholds_to_dict
+
     return {
         "version": FORMAT_VERSION,
         "kind": "instrumented-app",
         "app": app.app_name,
-        "thresholds": {"thr_lat": app.thresholds.thr_lat,
-                       "thr_bw": app.thresholds.thr_bw},
+        # Shared canonical form — the same helper RunSpec.canonical()
+        # uses, so the sidecar and the cache key can't drift.
+        "thresholds": thresholds_to_dict(app.thresholds),
         "objects": [
             {
                 "frames": list(name.frames),
@@ -109,11 +114,12 @@ def instrumented_from_dict(data: dict[str, Any]) -> InstrumentedApp:
         types[name] = ObjectType(obj["type"])
         if obj.get("heat", 0.0) > 0.0:
             heat[name] = float(obj["heat"])
-    th = data["thresholds"]
+    from repro.moca.policy import thresholds_from_dict
+
     return InstrumentedApp(
         app_name=data["app"],
         types=types,
-        thresholds=Thresholds(thr_lat=th["thr_lat"], thr_bw=th["thr_bw"]),
+        thresholds=thresholds_from_dict(data["thresholds"]),
         heat=heat,
     )
 

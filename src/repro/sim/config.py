@@ -80,6 +80,16 @@ class SystemConfig:
     def total_paper_mb(self) -> int:
         return sum(s.paper_mb_per_channel * s.n_channels for s in self.groups)
 
+    def fast_tier_bytes(self) -> int | None:
+        """Total capacity of the latency-optimized (``lat``) groups.
+
+        ``None`` when the config has no ``lat`` role — homogeneous
+        systems have no fast tier for a capacity-aware policy to budget.
+        """
+        caps = [g.capacity_per_channel * g.n_channels
+                for g in self.groups if g.role == "lat"]
+        return sum(caps) if caps else None
+
 
 def _homogeneous(tech: str, label: str) -> SystemConfig:
     return SystemConfig(
@@ -124,10 +134,31 @@ HETER_CONFIG3 = SystemConfig(
     ),
 )
 
+#: Fast-tier capacity sweep (experiments/capacity_sweep.py): config1's
+#: HBM/LPDDR complement with the RLDRAM tier resized across these paper
+#: capacities (MB).  Statically registered so sweep worker processes can
+#: resolve the names from a RunSpec.
+CAPACITY_POINTS = (32, 64, 128, 256, 512, 768)
+
+
+def _capacity_variant(paper_mb: int) -> SystemConfig:
+    return SystemConfig(
+        name=f"Heter-cap{paper_mb}",
+        groups=(
+            GroupSpec("lat", "RLDRAM3", 1, paper_mb),
+            GroupSpec("bw", "HBM", 1, 768),
+            GroupSpec("pow", "LPDDR2", 2, 512),
+        ),
+    )
+
+
+CAPACITY_CONFIGS = tuple(_capacity_variant(mb) for mb in CAPACITY_POINTS)
+
 ALL_SYSTEMS: dict[str, SystemConfig] = {
     c.name: c for c in (
         HOMOGEN_DDR3, HOMOGEN_LP, HOMOGEN_RL, HOMOGEN_HBM,
         HETER_CONFIG1, HETER_CONFIG2, HETER_CONFIG3,
+        *CAPACITY_CONFIGS,
     )
 }
 

@@ -10,24 +10,25 @@ separates the memory systems in the paper's multicore figures.
 from __future__ import annotations
 
 import heapq
-import warnings
 
 from repro.cpu.core import CoreParams, InOrderWindowCore
 from repro.faults.inject import apply_system_faults, arm_allocator
 from repro.faults.plan import FaultPlan
 from repro.moca.classify import Thresholds
 from repro.moca.allocation import plan_placement
+from repro.moca.policy import PolicySpec, build_policy
 from repro.obs.provenance import run_meta
 from repro.obs.registry import OBS
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import RunMetrics, collect_metrics
-from repro.sim.single import filter_provenance, filtered_stream, make_policy
+from repro.sim.single import filter_provenance, filtered_stream, \
+    policy_context
 from repro.workloads.inputs import REF, build_app_trace
 from repro.workloads.mixes import WorkloadMix, mix as make_mix
 
 
 def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
-               policy_name: str, *, input_name: str = REF,
+               policy: str | PolicySpec, *, input_name: str = REF,
                n_accesses: int = 60_000,
                thresholds: Thresholds | None = None,
                profile_accesses: int | None = None,
@@ -36,8 +37,7 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
                fast_path: bool | None = None) -> RunMetrics:
     """Run a 4-app workload set on a fresh instance of ``config``.
 
-    Internal driver behind :func:`repro.sim.run`; the deprecated
-    :func:`run_multi` alias forwards here.
+    Internal driver behind :func:`repro.sim.run`.
 
     Args:
         workload: A :class:`WorkloadMix` or its name (e.g. ``"2L1B1N"``).
@@ -45,25 +45,26 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
     """
     if isinstance(workload, str):
         workload = make_mix(workload)
-    with OBS.span(f"run.{workload.name}.{policy_name}", system=config.name,
+    pspec, context = policy_context(
+        policy, list(workload.apps), input_name, n_accesses, config=config,
+        thresholds=thresholds, profile_accesses=profile_accesses,
+        faults=faults)
+    label = pspec.label()
+    with OBS.span(f"run.{workload.name}.{label}", system=config.name,
                   n_cores=len(workload.apps)):
         streams = [filtered_stream(a, input_name, n_accesses, fast_path)[0]
                    for a in workload.apps]
         layouts = [build_app_trace(a, input_name, n_accesses).layout
                    for a in workload.apps]
-        with OBS.span("placement", policy=policy_name):
+        with OBS.span("placement", policy=label):
             memsys = config.build()
             if faults is not None:
                 apply_system_faults(memsys, faults)
             allocator = config.make_allocator(memsys)
             if faults is not None:
                 arm_allocator(allocator, faults)
-            policy = make_policy(policy_name, list(workload.apps),
-                                 input_name, n_accesses,
-                                 thresholds=thresholds,
-                                 profile_accesses=profile_accesses,
-                                 faults=faults)
-            plan = plan_placement(streams, policy, allocator,
+            policy_obj = build_policy(pspec, context)
+            plan = plan_placement(streams, policy_obj, allocator,
                                   layouts=layouts)
         cores = [
             InOrderWindowCore(s, plan.groups[i], plan.gaddrs[i],
@@ -86,7 +87,7 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
 
             # finalize tails (also publishes per-core obs counters)
             results = [c.run_to_completion(memsys) for c in cores]
-        meta = run_meta(config=config, policy=policy_name,
+        meta = run_meta(config=config, policy=label,
                         workload=workload.name, thresholds=thresholds,
                         faults=faults)
         meta["placement"] = plan.stats.to_dict()
@@ -95,23 +96,21 @@ def _run_multi(workload: WorkloadMix | str, config: SystemConfig,
             a: filter_provenance(a, input_name, n_accesses)
             for a in workload.apps}
         meta["accesses"] = n_accesses * len(workload.apps)
-        return collect_metrics(config.name, policy_name, workload.name,
+        return collect_metrics(config.name, label, workload.name,
                                results, memsys, meta=meta)
 
 
-def run_multi(workload: WorkloadMix | str, config: SystemConfig,
-              policy_name: str, *, input_name: str = REF,
-              n_accesses: int = 60_000,
-              thresholds: Thresholds | None = None,
-              profile_accesses: int | None = None,
-              core_params: CoreParams | None = None) -> RunMetrics:
-    """Deprecated alias — build a :class:`repro.sim.RunSpec` and call
-    :func:`repro.sim.run` instead."""
-    warnings.warn(
-        "run_multi() is deprecated; use repro.sim.run(RunSpec(...))",
-        DeprecationWarning, stacklevel=2)
-    return _run_multi(workload, config, policy_name,
-                      input_name=input_name, n_accesses=n_accesses,
-                      thresholds=thresholds,
-                      profile_accesses=profile_accesses,
-                      core_params=core_params)
+_REMOVED = {
+    "run_multi": "run_multi() was removed (deprecated since the RunSpec "
+                 "API landed); build a spec and call repro.sim.run — "
+                 "run(RunSpec('2L1B1N', 'Heter-config1', 'moca', 60_000)). "
+                 "Ad-hoc SystemConfig objects can be registered in "
+                 "repro.sim.config.ALL_SYSTEMS to become addressable by "
+                 "name (see docs/extending.md)",
+}
+
+
+def __getattr__(name: str):
+    if name in _REMOVED:
+        raise AttributeError(_REMOVED[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -8,29 +8,27 @@ pass runs once.
 
 from __future__ import annotations
 
-import warnings
 from functools import lru_cache
 
 from repro.cpu.core import CoreParams, InOrderWindowCore
 from repro.cpu.hierarchy import CacheHierarchy, CacheStats, MissStream
 from repro.faults.inject import apply_system_faults, arm_allocator
 from repro.faults.plan import FaultPlan
-from repro.moca.allocation import (
-    HeterAppPolicy,
-    HomogeneousPolicy,
-    MocaPolicy,
-    PlacementPolicy,
-    plan_placement,
+from repro.moca.allocation import PlacementPolicy, plan_placement
+from repro.moca.classify import Thresholds
+from repro.moca.policy import (
+    CapacityBudget,
+    PolicyContext,
+    PolicySpec,
+    build_policy,
 )
-from repro.moca.classify import Thresholds, class_letter_to_type
-from repro.moca.framework import MocaFramework
 from repro.obs.provenance import run_meta
 from repro.obs.registry import OBS
 from repro.sim import stream_store
-from repro.sim.config import SystemConfig
-from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.sim.config import CAPACITY_SCALE, SystemConfig
+from repro.util.units import MIB
 from repro.workloads.inputs import REF, build_app_trace
-from repro.workloads.spec import APP_CLASSES
+from repro.sim.metrics import RunMetrics, collect_metrics
 
 #: (app, input, n_accesses) → how its stream was obtained; feeds
 #: ``meta["filter"]`` provenance.  Keyed without ``fast_path`` because
@@ -99,41 +97,62 @@ def make_policy(policy_name: str, app_names: list[str],
                 thresholds: Thresholds | None = None,
                 profile_accesses: int | None = None,
                 faults: FaultPlan | None = None) -> PlacementPolicy:
-    """Construct a placement policy for the given per-core applications.
+    """Legacy policy constructor — a shim over the policy registry.
 
-    * ``"homogen"`` — everything to the single group;
-    * ``"heter-app"`` — per-application class from the paper's Table III;
-    * ``"moca"`` — object types from offline profiling on the training
-      input (classification is input-independent metadata; the runtime
-      trace only resolves names to live objects).
+    Policy construction lives in :mod:`repro.moca.policy` now: look
+    names up with :func:`~repro.moca.policy.policy_info`, build with
+    :func:`~repro.moca.policy.build_policy`, register new policies with
+    :func:`~repro.moca.policy.register_policy` (see
+    ``docs/extending.md``).  This wrapper keeps old call sites working
+    with the historical unlimited fast-tier budget; budget-aware
+    construction (what the runners do) also passes the system config's
+    ``lat`` capacity via :func:`policy_context`.
 
-    ``faults`` only affects MOCA: a plan with a guidance fault degrades
-    the profiling LUT before classification (the baselines carry no
-    profile to corrupt).
+    ``faults`` only affects profile-guided policies: a plan with a
+    guidance fault degrades the profiling LUT before classification
+    (the baselines carry no profile to corrupt).
     """
-    if policy_name == "homogen":
-        return HomogeneousPolicy()
-    if policy_name == "heter-app":
-        return HeterAppPolicy(
-            [class_letter_to_type(APP_CLASSES[a]) for a in app_names])
-    if policy_name == "moca":
-        fw = MocaFramework(
-            thresholds=thresholds or Thresholds(),
-            profile_accesses=profile_accesses or n_accesses,
-            faults=faults,
-        )
-        per_core_types = []
-        per_core_heat = []
-        for a in app_names:
-            instrumented = fw.instrument(a)
-            trace = build_app_trace(a, input_name, n_accesses)
-            per_core_types.append(fw.runtime_types(instrumented, trace))
-            per_core_heat.append(fw.runtime_heat(instrumented, trace))
-        return MocaPolicy(per_core_types, per_core_heat)
-    raise ValueError(f"unknown policy {policy_name!r}")
+    context = PolicyContext(
+        app_names=tuple(app_names), input_name=input_name,
+        n_accesses=n_accesses, thresholds=thresholds,
+        profile_accesses=profile_accesses, faults=faults)
+    return build_policy(PolicySpec.parse(policy_name), context)
 
 
-def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
+def policy_context(policy: str | PolicySpec, app_names: list[str],
+                   input_name: str, n_accesses: int, *,
+                   config: SystemConfig,
+                   thresholds: Thresholds | None = None,
+                   profile_accesses: int | None = None,
+                   faults: FaultPlan | None = None,
+                   ) -> tuple[PolicySpec, PolicyContext]:
+    """Resolve a spec's policy field against a system configuration.
+
+    The fast-tier budget a capacity-aware policy plans under comes from
+    (in priority order) the policy's own ``fast_mb`` parameter — the
+    paper's MB scale, divided by :data:`~repro.sim.config.CAPACITY_SCALE`
+    like every ``GroupSpec`` capacity — or the physical capacity of the
+    config's ``lat`` role; homogeneous systems yield an unlimited
+    budget.  Budget resolution lives here (not in ``repro.moca.policy``)
+    because it needs the system config, which the policy layer must not
+    import.
+    """
+    spec = PolicySpec.parse(policy)
+    fast_mb = spec.params_dict().get("fast_mb")
+    if fast_mb is not None:
+        fast_bytes = int(float(fast_mb) * MIB) // CAPACITY_SCALE
+    else:
+        fast_bytes = config.fast_tier_bytes()
+    context = PolicyContext(
+        app_names=tuple(app_names), input_name=input_name,
+        n_accesses=n_accesses, thresholds=thresholds,
+        profile_accesses=profile_accesses, faults=faults,
+        budget=CapacityBudget(fast_bytes))
+    return spec, context
+
+
+def _run_single(app_name: str, config: SystemConfig,
+                policy: str | PolicySpec, *,
                 input_name: str = REF, n_accesses: int = 120_000,
                 thresholds: Thresholds | None = None,
                 profile_accesses: int | None = None,
@@ -142,56 +161,55 @@ def _run_single(app_name: str, config: SystemConfig, policy_name: str, *,
                 fast_path: bool | None = None) -> RunMetrics:
     """Run one application on a fresh instance of ``config``.
 
-    Internal driver behind :func:`repro.sim.run`; the deprecated
-    :func:`run_single` alias forwards here.  ``fast_path`` follows the
-    :class:`~repro.cpu.core.InOrderWindowCore` convention (``None`` =
-    process default).
+    Internal driver behind :func:`repro.sim.run`.  ``fast_path`` follows
+    the :class:`~repro.cpu.core.InOrderWindowCore` convention (``None``
+    = process default).
     """
-    with OBS.span(f"run.{app_name}.{policy_name}", system=config.name):
+    pspec, context = policy_context(
+        policy, [app_name], input_name, n_accesses, config=config,
+        thresholds=thresholds, profile_accesses=profile_accesses,
+        faults=faults)
+    label = pspec.label()
+    with OBS.span(f"run.{app_name}.{label}", system=config.name):
         stream, _ = filtered_stream(app_name, input_name, n_accesses,
                                     fast_path)
         layout = build_app_trace(app_name, input_name, n_accesses).layout
-        with OBS.span("placement", policy=policy_name):
+        with OBS.span("placement", policy=label):
             memsys = config.build()
             if faults is not None:
                 apply_system_faults(memsys, faults)
             allocator = config.make_allocator(memsys)
             if faults is not None:
                 arm_allocator(allocator, faults)
-            policy = make_policy(policy_name, [app_name], input_name,
-                                 n_accesses, thresholds=thresholds,
-                                 profile_accesses=profile_accesses,
-                                 faults=faults)
-            plan = plan_placement([stream], policy, allocator,
+            policy_obj = build_policy(pspec, context)
+            plan = plan_placement([stream], policy_obj, allocator,
                                   layouts=[layout])
         with OBS.span("core_replay", app=app_name):
             core = InOrderWindowCore(stream, plan.groups[0], plan.gaddrs[0],
                                      core_params, fast_path=fast_path)
             result = core.run_to_completion(memsys)
-        meta = run_meta(config=config, policy=policy_name,
+        meta = run_meta(config=config, policy=label,
                         workload=app_name, thresholds=thresholds,
                         faults=faults)
         meta["placement"] = plan.stats.to_dict()
         meta["fast_path"] = core.fast_path
         meta["filter"] = filter_provenance(app_name, input_name, n_accesses)
         meta["accesses"] = n_accesses
-        return collect_metrics(config.name, policy_name, app_name,
+        return collect_metrics(config.name, label, app_name,
                                [result], memsys, meta=meta)
 
 
-def run_single(app_name: str, config: SystemConfig, policy_name: str, *,
-               input_name: str = REF, n_accesses: int = 120_000,
-               thresholds: Thresholds | None = None,
-               profile_accesses: int | None = None,
-               core_params: CoreParams | None = None) -> RunMetrics:
-    """Deprecated alias — build a :class:`repro.sim.RunSpec` and call
-    :func:`repro.sim.run` instead (the spec is also the engine's
-    scheduling unit and the persistent cache key)."""
-    warnings.warn(
-        "run_single() is deprecated; use repro.sim.run(RunSpec(...))",
-        DeprecationWarning, stacklevel=2)
-    return _run_single(app_name, config, policy_name,
-                       input_name=input_name, n_accesses=n_accesses,
-                       thresholds=thresholds,
-                       profile_accesses=profile_accesses,
-                       core_params=core_params)
+#: Removed entry points → migration hint.  ``__getattr__`` turns an
+#: attribute access into AttributeError and a ``from``-import into
+#: ImportError, both carrying the replacement.
+_REMOVED = {
+    "run_single": "run_single() was removed (deprecated since the RunSpec "
+                  "API landed); build a spec and call repro.sim.run — "
+                  "run(RunSpec('mcf', 'Heter-config1', 'moca', 120_000))",
+}
+
+
+def __getattr__(name: str):
+    if name in _REMOVED:
+        raise AttributeError(_REMOVED[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -6,8 +6,8 @@ classification thresholds, and the root seed.  It is frozen and hashable,
 so it serves three roles at once:
 
 * the **public API**: ``repro.sim.run(spec)`` is the single entry point
-  for both single-core and multicore runs (``run_single``/``run_multi``
-  remain as deprecated aliases);
+  for both single-core and multicore runs (the ``run_single``/
+  ``run_multi`` aliases were removed after their deprecation cycle);
 * the **scheduling unit** of the sweep engine
   (:mod:`repro.experiments.engine`), which fans individual specs out
   across worker processes instead of whole per-workload rows;
@@ -23,13 +23,20 @@ one core per application in the mix.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass
 
 from repro.faults.plan import FaultPlan
 from repro.moca.classify import Thresholds
+from repro.moca.policy import (
+    PolicySpec,
+    policy_canonical,
+    policy_info,
+    stock_policy_names,
+    thresholds_to_dict,
+)
 from repro.sim.config import ALL_SYSTEMS, SystemConfig
 from repro.sim.metrics import RunMetrics
 from repro.util.rng import ROOT_SEED
@@ -37,14 +44,24 @@ from repro.workloads.inputs import REF, is_valid_input
 from repro.workloads.mixes import parse_mix_name
 from repro.workloads.spec import APPS
 
-__all__ = ["POLICIES", "RunSpec", "run"]
-
-#: Placement policies understood by :func:`repro.sim.single.make_policy`.
-POLICIES = ("homogen", "heter-app", "moca")
+__all__ = ["RunSpec", "run"]
 
 #: Bumped whenever the canonical form (and therefore every cache key)
 #: changes shape.
 SPEC_SCHEMA = 1
+
+
+def __getattr__(name: str):
+    # Deprecated re-export, kept for one release: the policy registry
+    # (repro.moca.policy) is the single source of truth now.
+    if name == "POLICIES":
+        warnings.warn(
+            "repro.sim.spec.POLICIES is deprecated; use "
+            "repro.moca.policy.policy_names() (all registered policies) "
+            "or stock_policy_names() (the original trio)",
+            DeprecationWarning, stacklevel=2)
+        return stock_policy_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -56,7 +73,15 @@ class RunSpec:
             ``"2L1B1N"`` (one core per application).
         config: System configuration name (key of
             :data:`repro.sim.config.ALL_SYSTEMS`).
-        policy: ``"homogen"``, ``"heter-app"`` or ``"moca"``.
+        policy: A registered policy name (``"homogen"``, ``"heter-app"``,
+            ``"moca"``, ``"knapsack"``, ``"ranker"``, or anything added
+            via :func:`repro.moca.policy.register_policy`), a
+            parameterized string (``"knapsack:fast_mb=128"``), or a
+            :class:`~repro.moca.policy.PolicySpec`.  Normalized on
+            construction: parameterless specs collapse to the bare name
+            string, so stock-policy cache keys are byte-identical to the
+            pre-API era; parameterized specs extend the canonical form
+            (the ``fast_path``/``FaultPlan`` precedent).
         n_accesses: Trace length — per core for mixes.
         input_name: Runtime input (``"ref"``, a variant like ``"ref2"``,
             or ``"train"``); profiling always uses the training input.
@@ -82,7 +107,7 @@ class RunSpec:
 
     workload: str
     config: str
-    policy: str
+    policy: str | PolicySpec
     n_accesses: int
     input_name: str = REF
     thresholds: Thresholds | None = None
@@ -95,9 +120,18 @@ class RunSpec:
             raise ValueError(
                 f"unknown system config {self.config!r} "
                 f"(choose from {sorted(ALL_SYSTEMS)})")
-        if self.policy not in POLICIES:
-            raise ValueError(
-                f"unknown policy {self.policy!r} (choose from {POLICIES})")
+        # Normalize the policy field: parse parameterized strings,
+        # collapse parameterless specs back to the bare name (one
+        # canonical in-memory form per cache key), validate the name
+        # against the registry.
+        policy = self.policy
+        if isinstance(policy, str) and ":" in policy:
+            policy = PolicySpec.parse(policy)
+        if isinstance(policy, PolicySpec) and not policy.params:
+            policy = policy.name
+        policy_info(policy.name if isinstance(policy, PolicySpec)
+                    else policy)  # raises ValueError on unknown names
+        object.__setattr__(self, "policy", policy)
         if self.n_accesses <= 0:
             raise ValueError(f"n_accesses must be positive, "
                              f"got {self.n_accesses}")
@@ -117,6 +151,23 @@ class RunSpec:
     def is_multi(self) -> bool:
         """True when the workload is a mix name (one core per app)."""
         return self.workload not in APPS
+
+    @property
+    def policy_spec(self) -> PolicySpec:
+        """The policy as a structured spec (bare names get no params)."""
+        return PolicySpec.parse(self.policy)
+
+    @property
+    def policy_name(self) -> str:
+        """The registered policy name, without parameters."""
+        return self.policy if isinstance(self.policy, str) \
+            else self.policy.name
+
+    @property
+    def policy_label(self) -> str:
+        """Human-readable policy label (params included when present)."""
+        return self.policy if isinstance(self.policy, str) \
+            else self.policy.label()
 
     @property
     def system_config(self) -> SystemConfig:
@@ -139,11 +190,13 @@ class RunSpec:
             "workload": self.workload,
             "config": {"name": self.config,
                        "hash": config_hash(self.system_config)},
-            "policy": self.policy,
+            # Bare string for stock/parameterless policies (byte-stable
+            # pre-API keys); {"name", "params"} only when parameterized.
+            "policy": policy_canonical(self.policy),
             "n_accesses": self.n_accesses,
             "input": self.input_name,
             "thresholds": (None if self.thresholds is None
-                           else dataclasses.asdict(self.thresholds)),
+                           else thresholds_to_dict(self.thresholds)),
             "seed": self.seed,
         }
         # Added only when present, so every clean spec keeps the exact
@@ -165,7 +218,7 @@ class RunSpec:
 
     def describe(self) -> str:
         """Short human-readable label (progress spans, log lines)."""
-        label = f"{self.workload}/{self.config}/{self.policy}"
+        label = f"{self.workload}/{self.config}/{self.policy_label}"
         if self.faults is not None:
             label += f"[{self.faults.describe()}]"
         return label
@@ -191,16 +244,10 @@ def run(spec: RunSpec) -> RunMetrics:
     # True defers to the process default (REPRO_FAST_PATH kill switch);
     # False is an explicit forced-reference request.
     fast = None if spec.fast_path else False
-    if spec.is_multi:
-        return _run_multi(spec.workload, spec.system_config, spec.policy,
-                          input_name=spec.input_name,
-                          n_accesses=spec.n_accesses,
-                          thresholds=spec.thresholds,
-                          faults=spec.faults,
-                          fast_path=fast)
-    return _run_single(spec.workload, spec.system_config, spec.policy,
-                       input_name=spec.input_name,
-                       n_accesses=spec.n_accesses,
-                       thresholds=spec.thresholds,
-                       faults=spec.faults,
-                       fast_path=fast)
+    runner = _run_multi if spec.is_multi else _run_single
+    return runner(spec.workload, spec.system_config, spec.policy,
+                  input_name=spec.input_name,
+                  n_accesses=spec.n_accesses,
+                  thresholds=spec.thresholds,
+                  faults=spec.faults,
+                  fast_path=fast)

@@ -1,11 +1,11 @@
-"""Tests for RunSpec, the run() facade, and the deprecated aliases."""
+"""Tests for RunSpec, the run() facade, and the retired aliases."""
 
 import dataclasses
 
 import pytest
 
-from repro.sim.config import HETER_CONFIG1, HOMOGEN_DDR3
-from repro.sim.spec import POLICIES, RunSpec, run
+from repro.sim.config import HETER_CONFIG1
+from repro.sim.spec import RunSpec, run
 from repro.util.rng import ROOT_SEED
 
 N = 12_000
@@ -33,8 +33,19 @@ class TestValidation:
         with pytest.raises(ValueError):
             RunSpec("not-an-app-or-mix", "Homogen-DDR3", "homogen", N)
 
-    def test_policies_constant(self):
-        assert POLICIES == ("homogen", "heter-app", "moca")
+    def test_policies_constant_deprecated(self):
+        # Kept for one release as a warning re-export of the stock trio;
+        # the registry (repro.moca.policy) is the source of truth.
+        from repro.sim import spec
+        with pytest.deprecated_call():
+            names = spec.POLICIES
+        assert names == ("homogen", "heter-app", "moca")
+
+    def test_policies_forwarded_from_package(self):
+        import repro.sim
+        with pytest.deprecated_call():
+            names = repro.sim.POLICIES
+        assert names == ("homogen", "heter-app", "moca")
 
 
 class TestIdentity:
@@ -105,30 +116,37 @@ class TestRunFacade:
             run(spec)
 
 
-class TestDeprecatedAliases:
-    def test_run_single_warns_and_matches_facade(self):
-        from repro.sim.single import run_single
-        with pytest.deprecated_call():
-            old = run_single("sift", HOMOGEN_DDR3, "homogen", n_accesses=N)
-        new = run(RunSpec("sift", "Homogen-DDR3", "homogen", N))
-        assert old == new
+class TestRemovedAliases:
+    """run_single/run_multi finished their deprecation cycle in 1.1.0."""
 
-    def test_run_multi_warns_and_matches_facade(self):
-        from repro.sim.multi import run_multi
-        with pytest.deprecated_call():
-            old = run_multi("1B3N", HOMOGEN_DDR3, "homogen", n_accesses=N)
-        new = run(RunSpec("1B3N", "Homogen-DDR3", "homogen", N))
-        assert old == new
+    def test_run_single_removed_with_hint(self):
+        import repro.sim.single as single
+        with pytest.raises(AttributeError, match="repro.sim.run"):
+            single.run_single
 
-    def test_run_single_optionals_are_keyword_only(self):
-        from repro.sim.single import run_single
-        with pytest.raises(TypeError):
-            run_single("sift", HOMOGEN_DDR3, "homogen", "ref", N)
+    def test_run_multi_removed_with_hint(self):
+        import repro.sim.multi as multi
+        with pytest.raises(AttributeError, match="repro.sim.run"):
+            multi.run_multi
+        # The multi hint also names the ad-hoc-config escape hatch that
+        # run_multi used to provide.
+        with pytest.raises(AttributeError, match="ALL_SYSTEMS"):
+            multi.run_multi
 
-    def test_run_multi_optionals_are_keyword_only(self):
-        from repro.sim.multi import run_multi
-        with pytest.raises(TypeError):
-            run_multi("1B3N", HOMOGEN_DDR3, "homogen", "ref", N)
+    def test_from_import_raises_import_error(self):
+        with pytest.raises(ImportError):
+            from repro.sim.single import run_single  # noqa: F401
+        with pytest.raises(ImportError):
+            from repro.sim import run_multi  # noqa: F401
+
+    def test_removed_from_top_level_package(self):
+        import repro
+        with pytest.raises(AttributeError, match="removed"):
+            repro.run_single
+        with pytest.raises(AttributeError, match="removed"):
+            repro.run_multi
+        assert "run_single" not in repro.__all__
+        assert "run_multi" not in repro.__all__
 
     def test_make_policy_optionals_are_keyword_only(self):
         from repro.sim.single import make_policy

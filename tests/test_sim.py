@@ -66,8 +66,13 @@ class TestConfigs:
         assert alloc.pools[0].n_frames == sys.group("lat").capacity_bytes // 4096
 
     def test_registry(self):
-        assert len(ALL_SYSTEMS) == 7
+        from repro.sim.config import CAPACITY_POINTS
+        # The paper's seven systems plus the capacity-sweep family.
+        assert len(ALL_SYSTEMS) == 7 + len(CAPACITY_POINTS)
         assert "Homogen-DDR3" in ALL_SYSTEMS
+        for mb in CAPACITY_POINTS:
+            cfg = ALL_SYSTEMS[f"Heter-cap{mb}"]
+            assert cfg.fast_tier_bytes() == mb * (1 << 20) // 8
 
     def test_custom_config(self):
         cfg = SystemConfig("x", (GroupSpec("main", "HBM", 2, 256),))
@@ -152,13 +157,13 @@ class TestRunMulti:
         assert all(r.cycles > 0 for r in m.per_core)
 
     def test_mix_by_name_or_object(self):
-        from repro.sim.multi import run_multi
+        from repro.sim.multi import _run_multi
         from repro.workloads.mixes import mix
         a = run(RunSpec("1B3N", HOMOGEN_DDR3.name, "homogen", NM))
-        # The deprecated alias still accepts Workload objects directly.
-        with pytest.deprecated_call():
-            b = run_multi(mix("1B3N"), HOMOGEN_DDR3, "homogen",
-                          n_accesses=NM)
+        # The internal driver accepts WorkloadMix objects directly and
+        # must resolve a mix *name* to the same thing.
+        b = _run_multi(mix("1B3N"), HOMOGEN_DDR3, "homogen",
+                       n_accesses=NM)
         assert a.exec_cycles == b.exec_cycles
 
     def test_contention_slows_shared_system(self):
