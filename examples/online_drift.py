@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Input drift: offline placement, runtime migration, and the online service.
+
+The paper's Sec. IV-E argues MOCA's allocation-time placement beats
+runtime page migration — but both arguments assume the evaluation input
+resembles the training input.  This example (grown out of the old
+migration-vs-moca comparison) drifts the input away from the profile
+and measures all three answers:
+
+* **offline MOCA** — the paper's frozen placement, profiled on ``train``;
+* **hotness-driven migration** — no profile, chases the live hot set,
+  pays copy + shootdown costs forever;
+* **online MOCA** (``repro.service``) — boots from the offline
+  placement, then reclassifies drifted objects at epoch boundaries
+  under hysteresis and a bounded migration budget.
+
+Run:  python examples/online_drift.py
+"""
+
+from repro import HETER_CONFIG1, RunSpec, run
+from repro.service import OnlineSpec
+from repro.vm.migration import MigrationConfig
+
+APPS = ("milc", "gcc")
+INPUTS = ("ref", "drift2")   # paper evaluation input, then hot/cold reversal
+N = 60_000
+
+
+def main() -> None:
+    print(f"system: {HETER_CONFIG1.build().describe()}\n")
+    for app in APPS:
+        print(f"== {app} ==")
+        print(f"  {'input':8s} {'policy':18s} {'mem time':>12s} "
+              f"{'moves':>6s} {'pages':>6s}")
+        for input_name in INPUTS:
+            runs = (
+                ("heter-app", RunSpec(app, "Heter-config1", "heter-app", N,
+                                      input_name=input_name)),
+                ("offline moca", RunSpec(app, "Heter-config1", "moca", N,
+                                         input_name=input_name)),
+                ("migration", RunSpec(app, "Heter-config1", "homogen", N,
+                                      input_name=input_name,
+                                      migration=MigrationConfig())),
+                ("online moca", RunSpec(app, "Heter-config1", "moca", N,
+                                        input_name=input_name,
+                                        online=OnlineSpec())),
+            )
+            for label, spec in runs:
+                m = run(spec)
+                svc = m.meta.get("service", {})
+                moves = svc.get("moves", "-")
+                pages = svc.get("pages_moved", "-")
+                print(f"  {input_name:8s} {label:18s} "
+                      f"{m.mem_access_cycles:12,d} {moves!s:>6s} "
+                      f"{pages!s:>6s}")
+        print()
+    print("Takeaway: on the training-adjacent input the online service")
+    print("holds still (zero moves — hysteresis filters sampling noise)")
+    print("and matches offline MOCA.  Once the input's hot/cold ranking")
+    print("inverts, the frozen placement strands hot objects in slow")
+    print("memory; the service detects the drift from live per-epoch")
+    print("samples and migrates them back under its per-epoch budget,")
+    print("without migration's perpetual copy churn.")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,7 +61,8 @@ from repro.obs import OBS, Dashboard, ProgressReporter, run_meta, \
 from repro.obs import telemetry as obstel
 from repro.obs.dashboard import HEARTBEAT_NAME
 from repro.experiments import (
-    capacity_sweep, devices, fig01, fig02, fig08, fig09, fig10, fig11,
+    capacity_sweep, devices, drift_sweep, fig01, fig02, fig08, fig09,
+    fig10, fig11,
     fig12, fig13, fig14, fig15, fig16, headline, overhead,
     resilience_sweep, smoke, tables, taillat, thresholds_sweep, variance,
 )
@@ -85,6 +86,7 @@ EXPERIMENTS = {
     "headline": headline.compute,
     "thresholds": thresholds_sweep.compute,
     "capacity": capacity_sweep.compute,
+    "drift": drift_sweep.compute,
     "devices": devices.compute,
     "variance": variance.compute,
     "taillat": taillat.compute,

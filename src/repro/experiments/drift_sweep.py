@@ -1,0 +1,120 @@
+"""Input-drift sweep: the online guidance service vs frozen placement.
+
+The paper's pipeline is strictly offline — profile once on the training
+input, freeze the LUT, allocate at startup — which silently degrades
+when the evaluation input *drifts* from the training input.  This
+experiment measures that cliff and what the online guidance service
+(:mod:`repro.service`) buys back.  Rows are inputs of increasing drift:
+
+* **ref** — the paper's evaluation input (weight jitter only); the
+  service must *hold still* (hysteresis: zero net moves after warmup);
+* **drift1** — heap access weights blended half-way toward their
+  reversed ranking (``repro.workloads.inputs``), so the offline
+  classification misplaces the objects that matter;
+* **drift2** — the full hot/cold reversal;
+* **drift2+fault** — drift2 plus a mid-placement capacity fault (the
+  bandwidth module offlines after 2000 page allocations and its timing
+  derates 4x), identical FaultPlan for every policy; the service
+  additionally evacuates the stranded pages under its epoch budget.
+
+Columns compare Heter-App (application-granular, input-independent),
+offline MOCA (the paper's frozen placement), and online MOCA (same
+boot placement, then epoch-driven reclassification + budgeted
+migration).  Cells are memory access time normalized per app to a
+clean Homogen-DDR3 run of the same input, geomean over the app set —
+lower is better.  The trailing columns report the service's net object
+moves and pages migrated (summed over apps): the ref row must show 0.
+
+The app set spans the paper's three classes — milc (latency-bound),
+tracking (bandwidth-bound), gcc (non-memory-bound) — so the figure
+shows drift hurting through different mechanisms: milc's placement
+inverts (the service migrates back), while gcc's cache-resident pools
+barely miss and the service correctly leaves them alone.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import engine
+from repro.experiments.runner import DEFAULT, Fidelity, FigureResult, geomean
+from repro.faults.plan import FaultPlan
+from repro.service import OnlineSpec
+from repro.sim.spec import RunSpec
+
+APPS = ("milc", "tracking", "gcc")
+CONFIG = "Heter-config1"
+
+#: One (input, FaultPlan | None) pair per figure row.
+ROWS = (
+    ("ref", None),
+    ("drift1", None),
+    ("drift2", None),
+    ("drift2+fault",
+     FaultPlan(offline_role="bw", trigger_page=2_000,
+               degrade_role="bw", degrade_factor=4.0)),
+)
+
+
+def _row_specs(input_name: str, faults: FaultPlan | None,
+               n: int) -> list[RunSpec]:
+    return (
+        [RunSpec(app, CONFIG, "heter-app", n, input_name=input_name,
+                 faults=faults) for app in APPS]
+        + [RunSpec(app, CONFIG, "moca", n, input_name=input_name,
+                   faults=faults) for app in APPS]
+        + [RunSpec(app, CONFIG, "moca", n, input_name=input_name,
+                   faults=faults, online=OnlineSpec()) for app in APPS]
+    )
+
+
+def compute(fidelity: Fidelity = DEFAULT) -> FigureResult:
+    """Normalized memory access time vs input drift, per policy."""
+    fig = FigureResult(
+        figure_id="drift",
+        title="Input-drift sweep: offline vs online MOCA as the "
+              "evaluation input drifts from the training input "
+              "(normalized to clean Homogen-DDR3, geomean over apps)",
+        columns=["input", "Heter-App", "Offline-MOCA", "Online-MOCA",
+                 "online_moves", "online_pages"],
+    )
+    n = fidelity.n_single
+    inputs = sorted({name.split("+")[0] for name, _ in ROWS})
+    base_specs = [RunSpec(app, "Homogen-DDR3", "homogen", n,
+                          input_name=name)
+                  for name in inputs for app in APPS]
+    cell_specs = [spec for name, faults in ROWS
+                  for spec in _row_specs(name.split("+")[0], faults, n)]
+    results = engine.execute(base_specs + cell_specs, phase="sweep.drift")
+    base = {(name, app): m.mem_access_cycles
+            for (name, app), m in zip(
+                ((name, app) for name in inputs for app in APPS),
+                results[:len(base_specs)])}
+    cells = iter(results[len(base_specs):])
+    for name, _faults in ROWS:
+        input_name = name.split("+")[0]
+        row = []
+        online_metrics: list = []
+        for policy in ("heter-app", "moca", "online"):
+            metrics = [next(cells) for _ in APPS]
+            if policy == "online":
+                online_metrics = metrics
+            ratios = [m.mem_access_cycles / base[(input_name, app)]
+                      for m, app in zip(metrics, APPS)]
+            row.append(round(geomean(ratios), 3))
+        moves = sum(m.meta.get("service", {}).get("moves", 0)
+                    for m in online_metrics)
+        pages = sum(m.meta.get("service", {}).get("pages_moved", 0)
+                    for m in online_metrics)
+        fig.add_row(name, *row, moves, pages)
+    fig.notes.append(
+        f"Geomean over {APPS}; lower is better.  Expected: the three "
+        "policies tie their capacity-figure order on ref (and the "
+        "service holds still: online_moves == 0); on drifted inputs "
+        "offline MOCA degrades past Heter-App while online MOCA "
+        "reclassifies from live telemetry and recovers most of the "
+        "gap; under the capacity fault the service additionally "
+        "evacuates stranded pages, beating both frozen placements.")
+    return fig
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(compute().render())

@@ -60,6 +60,7 @@ __all__ = [
     "PolicySpec",
     "ThresholdClassifier",
     "UNLIMITED",
+    "build_classifier",
     "build_policy",
     "classified_policy",
     "policy_canonical",
@@ -388,13 +389,18 @@ class PolicyInfo:
     description: str = ""
     #: Stock policies are the pre-API trio whose cache keys are pinned.
     stock: bool = False
+    #: Classification-based policies also expose their bare classifier
+    #: (:class:`ClassificationPolicy`), which the online guidance
+    #: service re-runs against live LUT slices at every epoch boundary.
+    #: ``None`` for policies without one (homogen, heter-app).
+    classifier_factory: "Callable[[PolicySpec, PolicyContext], ClassificationPolicy] | None" = None
 
 
 _REGISTRY: dict[str, PolicyInfo] = {}
 
 
 def register_policy(name: str, *, description: str = "",
-                    stock: bool = False):
+                    stock: bool = False, classifier=None):
     """Register a policy factory under ``name`` (decorator).
 
     The factory takes ``(spec, context)`` — the parsed
@@ -403,6 +409,11 @@ def register_policy(name: str, *, description: str = "",
     :class:`~repro.moca.allocation.PlacementPolicy`.  Registration makes
     the name valid in a :class:`~repro.sim.spec.RunSpec` and therefore
     usable from both CLIs, the sweep engine, and the result cache.
+
+    ``classifier`` optionally registers a second factory with the same
+    signature returning the policy's bare :class:`ClassificationPolicy`,
+    which makes the name valid for online (``RunSpec.online``) runs —
+    the guidance service re-invokes it against live-updated LUTs.
     """
     if not _NAME_RE.match(name):
         raise ValueError(f"bad policy name {name!r}")
@@ -410,7 +421,8 @@ def register_policy(name: str, *, description: str = "",
     def deco(factory):
         if name in _REGISTRY:
             raise ValueError(f"policy {name!r} is already registered")
-        _REGISTRY[name] = PolicyInfo(name, factory, description, stock)
+        _REGISTRY[name] = PolicyInfo(name, factory, description, stock,
+                                     classifier)
         return factory
 
     return deco
@@ -448,6 +460,24 @@ def build_policy(policy: "str | PolicySpec",
     """Build the runtime placement policy a spec names."""
     spec = PolicySpec.parse(policy)
     return policy_info(spec.name).factory(spec, context)
+
+
+def build_classifier(policy: "str | PolicySpec",
+                     context: PolicyContext) -> ClassificationPolicy:
+    """Build the bare classifier a classification-based policy uses.
+
+    The online guidance service calls this once at registration and then
+    re-runs the returned classifier against live-updated LUT slices at
+    every epoch boundary.  Raises for policies that register no
+    classifier (homogen, heter-app) — there is nothing to re-evaluate.
+    """
+    spec = PolicySpec.parse(policy)
+    info = policy_info(spec.name)
+    if info.classifier_factory is None:
+        raise ValueError(
+            f"policy {spec.name!r} registers no classifier; online "
+            f"reclassification needs a classification-based policy")
+    return info.classifier_factory(spec, context)
 
 
 # ---- classifier → runtime policy bridge ------------------------------------
@@ -497,30 +527,47 @@ def _heter_app(spec: PolicySpec, context: PolicyContext) -> PlacementPolicy:
         [class_letter_to_type(APP_CLASSES[a]) for a in context.app_names])
 
 
+def _moca_classifier(spec: PolicySpec,
+                     context: PolicyContext) -> ClassificationPolicy:
+    return ThresholdClassifier(context.thresholds)
+
+
 @register_policy("moca", stock=True,
-                 description="per-object Fig. 5 threshold classification")
+                 description="per-object Fig. 5 threshold classification",
+                 classifier=_moca_classifier)
 def _moca(spec: PolicySpec, context: PolicyContext) -> PlacementPolicy:
     return classified_policy(context,
                              ThresholdClassifier(context.thresholds))
 
 
+def _knapsack_classifier(spec: PolicySpec,
+                         context: PolicyContext) -> ClassificationPolicy:
+    return KnapsackClassifier(context.thresholds)
+
+
 @register_policy("knapsack",
                  description="capacity-aware greedy benefit-per-byte "
-                             "allocation over the threshold candidates")
+                             "allocation over the threshold candidates",
+                 classifier=_knapsack_classifier)
 def _knapsack(spec: PolicySpec, context: PolicyContext) -> PlacementPolicy:
     return classified_policy(context,
                              KnapsackClassifier(context.thresholds))
 
 
-@register_policy("ranker",
-                 description="learned logistic ranker over LUT features "
-                             "(trained on the synthetic corpus)")
-def _ranker(spec: PolicySpec, context: PolicyContext) -> PlacementPolicy:
+def _ranker_classifier(spec: PolicySpec,
+                       context: PolicyContext) -> ClassificationPolicy:
     # Deferred import: training pulls in numpy-heavy fitting that most
     # sessions never touch.
     from repro.moca.ranker import RankerClassifier
 
-    classifier = RankerClassifier.trained(
+    return RankerClassifier.trained(
         thresholds=context.thresholds,
         profile_accesses=context.profile_accesses or context.n_accesses)
-    return classified_policy(context, classifier)
+
+
+@register_policy("ranker",
+                 description="learned logistic ranker over LUT features "
+                             "(trained on the synthetic corpus)",
+                 classifier=_ranker_classifier)
+def _ranker(spec: PolicySpec, context: PolicyContext) -> PlacementPolicy:
+    return classified_policy(context, _ranker_classifier(spec, context))

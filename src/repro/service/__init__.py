@@ -1,0 +1,53 @@
+"""Online MOCA guidance service (epoch-driven reclassification).
+
+The paper's pipeline is strictly offline — profile once, freeze the LUT,
+allocate at startup — so inputs that drift from the training input
+silently degrade.  This package is the online half (after
+"Online Application Guidance for Heterogeneous Memory Systems",
+arXiv:2110.02150): a :class:`~repro.service.service.GuidanceService`
+that tenants stream per-epoch samples to and receive reclassification +
+migration decisions from, hardened against drift (phase-change
+detection), noise (EWMA smoothing, hysteresis, sample-quality guards),
+and mid-run capacity faults (forced re-placement under the same
+migration budget).
+
+Drive it through :func:`repro.sim.online.run_online` /
+``RunSpec(online=OnlineSpec(...))``; see ``docs/architecture.md``.
+"""
+
+from repro.service.budget import DeferredMoveQueue, EpochBudget, MoveRequest
+from repro.service.detector import PhaseChangeDetector
+from repro.service.hysteresis import GateDecision, HysteresisGate
+from repro.service.samples import (
+    EpochSample,
+    ObjectSample,
+    SampleGuard,
+    build_epoch_sample,
+    degrade_sample,
+)
+from repro.service.service import (
+    EpochDecision,
+    GuidanceService,
+    ServiceStats,
+    Tenant,
+)
+from repro.service.spec import OnlineSpec
+
+__all__ = [
+    "DeferredMoveQueue",
+    "EpochBudget",
+    "EpochDecision",
+    "EpochSample",
+    "GateDecision",
+    "GuidanceService",
+    "HysteresisGate",
+    "MoveRequest",
+    "ObjectSample",
+    "OnlineSpec",
+    "PhaseChangeDetector",
+    "SampleGuard",
+    "ServiceStats",
+    "Tenant",
+    "build_epoch_sample",
+    "degrade_sample",
+]

@@ -1,0 +1,180 @@
+"""Phase-change detection over per-object EWMA feature deltas.
+
+The detector keeps, per object, exponentially-weighted moving averages
+of the live features the classifier cares about — LLC MPKI,
+stall-per-load-miss, and write fraction — primed from the offline
+profile.  An object *phase-changes* when its smoothed behaviour moves
+far enough (relatively, with absolute floors against near-zero noise)
+away from the profile baseline.  Only phase-changed objects are handed
+to the classifier for re-evaluation, so a stable run can never drift
+away from its offline placement on sampling noise alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.samples import EpochSample
+
+__all__ = ["ObjectState", "PhaseChangeDetector"]
+
+# Absolute floors clamping the ratio test: a feature living below its
+# floor is "noise-level" and both sides of the comparison are clamped up
+# to it, so near-zero values can neither trip the detector on sampling
+# jitter nor make a genuine collapse undetectable.  The MPKI floor sits
+# at the classification threshold (1.0 miss/kilo-inst); the SPM floor at
+# half the latency/bandwidth boundary.
+_MPKI_FLOOR = 1.0
+_SPM_FLOOR = 10.0
+_WF_FLOOR = 0.10
+
+
+@dataclass
+class ObjectState:
+    """One object's smoothed live behaviour and its offline baseline."""
+
+    obj_id: int
+    base_mpki: float
+    base_spm: float
+    base_wf: float
+    ewma_mpki: float = 0.0
+    ewma_spm: float = 0.0
+    ewma_wf: float = 0.0
+    epochs_seen: int = 0
+    #: Live features currently depart from the baseline.  *Transient*:
+    #: a one-epoch burst trips it, the decayed EWMA un-trips it — the
+    #: hysteresis gate only releases a move when the trip (and hence the
+    #: proposal) persists K consecutive epochs.
+    phase_changed: bool = False
+    #: Classification is permanently driven by live features: the object
+    #: was never profiled offline, or it has been moved (its profile
+    #: entry describes a placement that no longer exists).
+    pinned_live: bool = False
+
+    def observe(self, mpki: float, spm: float, wf: float,
+                alpha: float) -> None:
+        if self.epochs_seen == 0:
+            self.ewma_mpki, self.ewma_spm, self.ewma_wf = mpki, spm, wf
+        else:
+            self.ewma_mpki += alpha * (mpki - self.ewma_mpki)
+            self.ewma_spm += alpha * (spm - self.ewma_spm)
+            self.ewma_wf += alpha * (wf - self.ewma_wf)
+        self.epochs_seen += 1
+
+
+def _exceeds(current: float, base: float, floor: float,
+             sensitivity: float) -> bool:
+    """Ratio test, symmetric in direction and clamped at the floor.
+
+    Trips when the larger of (current, baseline) exceeds the smaller by
+    more than a factor of ``1 + sensitivity``, with the smaller side
+    clamped up to ``floor``.  A plain delta test cannot work here: a
+    hot object collapsing to zero has ``delta == base`` at most, so any
+    relative-delta threshold >= 1 makes hot-to-cold drift *undetectable
+    by construction*, while near-zero features trip on sampling jitter.
+    """
+    hi = max(current, base)
+    lo = max(min(current, base), floor)
+    return hi > (1.0 + sensitivity) * lo
+
+
+@dataclass
+class PhaseChangeDetector:
+    """Flags objects whose live EWMAs depart from their profile baseline.
+
+    ``sensitivity`` is the relative departure that counts: 1.0 means the
+    smoothed feature must at least double (or halve) relative to its
+    baseline, floors clamping both sides against near-zero noise.  The
+    trip is *transient* — a one-epoch burst trips it, the decaying EWMA
+    un-trips it — so only a sustained departure keeps an object in the
+    phase-changed set long enough for the hysteresis gate to release a
+    move.  :meth:`rebase` (after a move) pins the object to live
+    features permanently and re-anchors its baseline.
+    """
+
+    alpha: float = 0.5
+    sensitivity: float = 0.5
+    objects: dict[int, ObjectState] = field(default_factory=dict)
+    #: Heap object ids the detector may track; ``None`` tracks anything
+    #: that shows up in a sample.  Tenants pass their named-object set so
+    #: segment traffic (negative ids) never grows phantom states.
+    known: set[int] | None = None
+
+    def prime(self, obj_id: int, mpki: float, spm: float,
+              wf: float) -> None:
+        """Register an object's offline-profile baseline."""
+        self.objects[obj_id] = ObjectState(
+            obj_id, base_mpki=float(mpki), base_spm=float(spm),
+            base_wf=float(wf))
+
+    def observe(self, sample: EpochSample) -> set[int]:
+        """Fold one accepted epoch in; return newly phase-changed ids."""
+        fresh: set[int] = set()
+        for obj_id, s in sample.objects.items():
+            if self.known is not None and obj_id not in self.known:
+                continue  # segment / non-heap traffic: never reclassified
+            state = self.objects.get(obj_id)
+            if state is None:
+                # Never profiled offline: its baseline is its first
+                # live epoch, so classification is live-driven from the
+                # start.
+                state = ObjectState(obj_id, base_mpki=0.0, base_spm=0.0,
+                                    base_wf=0.0, pinned_live=True)
+                self.objects[obj_id] = state
+                fresh.add(obj_id)
+            state.observe(s.mpki(sample.instructions),
+                          s.stall_per_load_miss, s.write_frac, self.alpha)
+            self._retest(state, fresh)
+        # Objects absent from the epoch produced zero misses: their
+        # intensity EWMA decays toward 0.  Without this, an object the
+        # drifted input turned *cold* would keep its hot profile forever
+        # — and never free its fast-tier frames for the new hot set.
+        for obj_id, state in self.objects.items():
+            if obj_id in sample.objects:
+                continue
+            state.observe(0.0, state.ewma_spm, state.ewma_wf, self.alpha)
+            self._retest(state, fresh)
+        return fresh
+
+    def _retest(self, state: ObjectState, fresh: set[int]) -> None:
+        tripped = self._tripped(state)
+        if tripped and not state.phase_changed:
+            fresh.add(state.obj_id)
+        state.phase_changed = tripped
+
+    def _tripped(self, st: ObjectState) -> bool:
+        # Intensity (MPKI) and write mix are the drift-prone features; a
+        # per-object *access pattern* — what stall-per-miss measures — is
+        # input-stable, and its short-window live estimate sits on a
+        # different scale than the whole-run profile (overlap inside the
+        # core's miss window), so tripping on it would reclassify every
+        # object on estimator bias alone.  The spm EWMA is still kept:
+        # it seeds LUT entries for objects that were never profiled.
+        return (_exceeds(st.ewma_mpki, st.base_mpki, _MPKI_FLOOR,
+                         self.sensitivity)
+                or _exceeds(st.ewma_wf, st.base_wf, _WF_FLOOR,
+                            self.sensitivity))
+
+    def changed(self) -> set[int]:
+        """Objects whose classification should use live features now:
+        currently tripped, moved at some point, or never profiled."""
+        return {o for o, st in self.objects.items()
+                if st.phase_changed or st.pinned_live}
+
+    def rebase(self, obj_id: int) -> None:
+        """Re-anchor an object's baseline at its current EWMAs.
+
+        Called after the service moves the object: the new placement is
+        now the reference behaviour, so further moves require a *new*
+        departure rather than riding the original trip forever.  The
+        object is pinned to live features from here on — its offline
+        profile describes a placement that no longer exists.
+        """
+        st = self.objects.get(obj_id)
+        if st is None:
+            return
+        st.base_mpki = st.ewma_mpki
+        st.base_spm = st.ewma_spm
+        st.base_wf = st.ewma_wf
+        st.pinned_live = True
+        st.phase_changed = self._tripped(st)

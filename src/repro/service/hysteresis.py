@@ -1,0 +1,68 @@
+"""Hysteresis gating: K-consecutive-epoch confirmation plus cooldown.
+
+Classification flips on a single epoch are cheap to propose and
+expensive to act on — a page move costs bus time and shootdowns both
+ways.  The gate therefore requires an object to classify away from its
+current placement for ``k`` *consecutive* epochs before a move is
+released, and pins the object down for ``cooldown`` epochs after every
+move.  Together these make ping-pong impossible: two opposing moves of
+the same object can never be issued within the cooldown window (pinned
+by a hypothesis test in ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.moca.classify import ObjectType
+
+__all__ = ["GateDecision", "HysteresisGate"]
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """Outcome of one gate check for one object in one epoch."""
+
+    release: bool
+    reason: str  # "release" | "building" | "cooldown" | "agree"
+    streak: int = 0
+
+
+@dataclass
+class HysteresisGate:
+    k: int = 2
+    cooldown: int = 3
+    #: Current streak per object: (proposed type, consecutive epochs).
+    _streaks: dict[int, tuple[ObjectType, int]] = field(default_factory=dict)
+    #: First epoch at which the object may move again.
+    _cooldown_until: dict[int, int] = field(default_factory=dict)
+
+    def check(self, obj_id: int, current: ObjectType,
+              proposed: ObjectType, epoch: int) -> GateDecision:
+        """Advance the object's streak for this epoch and gate the move.
+
+        Call exactly once per object per *accepted* epoch; rejected
+        epochs must not advance streaks (the epoch carries no usable
+        evidence either way).
+        """
+        if proposed == current:
+            # Agreement with the live placement resets any streak: the
+            # K epochs must be consecutive.
+            self._streaks.pop(obj_id, None)
+            return GateDecision(False, "agree")
+        held_type, streak = self._streaks.get(obj_id, (proposed, 0))
+        streak = streak + 1 if held_type == proposed else 1
+        self._streaks[obj_id] = (proposed, streak)
+        if epoch < self._cooldown_until.get(obj_id, 0):
+            return GateDecision(False, "cooldown", streak)
+        if streak < self.k:
+            return GateDecision(False, "building", streak)
+        return GateDecision(True, "release", streak)
+
+    def record_move(self, obj_id: int, epoch: int) -> None:
+        """Start the object's cooldown and clear its streak."""
+        self._streaks.pop(obj_id, None)
+        self._cooldown_until[obj_id] = epoch + self.cooldown + 1
+
+    def in_cooldown(self, obj_id: int, epoch: int) -> bool:
+        return epoch < self._cooldown_until.get(obj_id, 0)

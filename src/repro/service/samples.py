@@ -1,0 +1,167 @@
+"""Per-epoch access-interval samples and their quality guards.
+
+Tenants of the :class:`~repro.service.service.GuidanceService` report one
+:class:`EpochSample` per epoch: per-object demand misses, load misses,
+ROB-head stall cycles, and store counts over the epoch's instruction
+window — exactly the features the offline profiler extracts, but
+measured live.  Telemetry is the untrusted input of the online pipeline,
+so this module also owns:
+
+* :func:`degrade_sample` — deterministic sample corruption driven by a
+  :class:`~repro.faults.plan.FaultPlan`'s *guidance* faults
+  (``lut_drop_fraction`` → the epoch's sample goes missing,
+  ``lut_scramble_fraction`` → its statistics are garbled), modelling a
+  lossy or buggy telemetry channel;
+* :class:`SampleGuard` — the admission check: missing, short, or corrupt
+  epochs are rejected with a reason and the service holds the last good
+  placement (the page table is untouched — pinned by hypothesis tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cpu.core import CoreResult
+from repro.cpu.hierarchy import KIND_STORE, MissStream
+from repro.faults.plan import FaultPlan
+from repro.util.rng import stream as rng_stream
+
+__all__ = ["EpochSample", "ObjectSample", "SampleGuard", "build_epoch_sample",
+           "degrade_sample"]
+
+
+@dataclass
+class ObjectSample:
+    """One object's share of an epoch's activity."""
+
+    obj_id: int
+    misses: int = 0          #: Demand LLC misses this epoch.
+    load_misses: int = 0
+    stall_cycles: int = 0
+    writes: int = 0          #: Store records this epoch.
+
+    def mpki(self, instructions: int) -> float:
+        if instructions <= 0:
+            return 0.0
+        return self.misses * 1000.0 / instructions
+
+    @property
+    def stall_per_load_miss(self) -> float:
+        if self.load_misses <= 0:
+            return 0.0
+        return self.stall_cycles / self.load_misses
+
+    @property
+    def write_frac(self) -> float:
+        if self.misses <= 0:
+            return 0.0
+        return min(1.0, self.writes / self.misses)
+
+
+@dataclass
+class EpochSample:
+    """Everything one tenant reports for one epoch."""
+
+    epoch: int
+    instructions: int    #: Instructions retired during the epoch.
+    n_records: int       #: Miss-stream records observed (sample length).
+    objects: dict[int, ObjectSample] = field(default_factory=dict)
+
+
+def build_epoch_sample(epoch: int, sl: MissStream, result: CoreResult,
+                       instructions: int) -> EpochSample:
+    """Assemble a sample from one epoch's replayed slice.
+
+    The per-object miss/stall splits come straight off the epoch's
+    :class:`~repro.cpu.core.CoreResult` (each epoch replays on a fresh
+    core, so its by-object dicts are epoch-local); store counts come from
+    the slice's record kinds.
+    """
+    objects: dict[int, ObjectSample] = {}
+
+    def entry(obj: int) -> ObjectSample:
+        s = objects.get(obj)
+        if s is None:
+            s = objects[obj] = ObjectSample(obj)
+        return s
+
+    for obj, n in result.demand_by_obj.items():
+        entry(int(obj)).misses = int(n)
+    for obj, n in result.load_misses_by_obj.items():
+        entry(int(obj)).load_misses = int(n)
+    for obj, n in result.stall_by_obj.items():
+        entry(int(obj)).stall_cycles = int(n)
+    store_objs = sl.obj_id[sl.kind == KIND_STORE]
+    if len(store_objs):
+        uniq, counts = np.unique(store_objs, return_counts=True)
+        for obj, n in zip(uniq.tolist(), counts.tolist()):
+            entry(int(obj)).writes = int(n)
+    return EpochSample(epoch=epoch, instructions=int(instructions),
+                       n_records=len(sl), objects=objects)
+
+
+def degrade_sample(sample: EpochSample, plan: FaultPlan,
+                   tenant: str) -> EpochSample | None:
+    """Apply a plan's guidance faults to one epoch's telemetry.
+
+    * ``lut_drop_fraction`` is the per-epoch probability the sample is
+      lost entirely (returns ``None`` — a missing report);
+    * ``lut_scramble_fraction`` is the per-epoch probability the sample
+      arrives *corrupt*: its counters are garbled into detectably
+      inconsistent values (negative counts, NaN instruction window).
+
+    Deterministic in ``(tenant, plan.seed, sample.epoch)``, so a faulted
+    online :class:`~repro.sim.spec.RunSpec` reproduces bit-identically.
+    The clean path returns the sample untouched.
+    """
+    if not plan.has_lut_fault:
+        return sample
+    rng = rng_stream("service", "sample-fault", tenant, plan.seed,
+                     sample.epoch)
+    if plan.lut_drop_fraction > 0.0 and \
+            rng.random() < plan.lut_drop_fraction:
+        return None
+    if plan.lut_scramble_fraction > 0.0 and \
+            rng.random() < plan.lut_scramble_fraction:
+        garbled = replace(sample, instructions=-1)
+        garbled.objects = {
+            obj: ObjectSample(obj, misses=-s.misses - 1,
+                              load_misses=s.load_misses,
+                              stall_cycles=-s.stall_cycles,
+                              writes=s.writes)
+            for obj, s in sample.objects.items()
+        }
+        return garbled
+    return sample
+
+
+class SampleGuard:
+    """Admission control for epoch samples.
+
+    ``validate`` returns ``None`` for a usable sample or a rejection
+    reason (``"missing"`` / ``"short"`` / ``"corrupt"``).  Rejected
+    epochs must be side-effect-free for the service: no EWMA updates, no
+    moves, no budget consumption.
+    """
+
+    def __init__(self, min_records: int = 0):
+        self.min_records = max(0, int(min_records))
+
+    def validate(self, sample: EpochSample | None) -> str | None:
+        if sample is None:
+            return "missing"
+        if sample.n_records < self.min_records:
+            return "short"
+        if not isinstance(sample.instructions, int) \
+                or sample.instructions <= 0:
+            return "corrupt"
+        for s in sample.objects.values():
+            if min(s.misses, s.load_misses, s.stall_cycles, s.writes) < 0:
+                return "corrupt"
+            if not all(math.isfinite(v) for v in
+                       (s.misses, s.load_misses, s.stall_cycles, s.writes)):
+                return "corrupt"
+        return None

@@ -6,32 +6,43 @@ overhead (page copies + TLB shootdowns) is charged to the core before
 the next epoch starts.  Pages start wherever first-touch demand paging
 puts them under the power-first chain (a migration system has no
 profile, so everything begins in the cheap module).
+
+Migration runs are full :class:`~repro.sim.spec.RunSpec` citizens:
+``RunSpec(..., policy="homogen", migration=MigrationConfig(...))``
+dispatches here through :func:`repro.sim.run`, so they get result-cache
+entries, ``run_meta`` provenance, and unit telemetry like every other
+run.  :func:`run_single_migration` remains as the historical entry point
+and routes through the engine (cached) whenever the arguments are
+spec-expressible.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.cpu.core import CoreParams, CoreResult, InOrderWindowCore
 from repro.moca.allocation import HomogeneousPolicy, plan_placement
-from repro.sim.config import SystemConfig
+from repro.obs.provenance import run_meta
+from repro.sim.config import ALL_SYSTEMS, SystemConfig
 from repro.sim.metrics import RunMetrics, collect_metrics
 from repro.sim.single import filtered_stream
 from repro.trace.events import PAGE_BYTES
 from repro.vm.migration import HotPageMigrator, MigrationConfig, MigrationStats
 from repro.workloads.inputs import REF, build_app_trace
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.spec import RunSpec
 
-def run_single_migration(app_name: str, config: SystemConfig,
-                         migration: MigrationConfig | None = None,
-                         input_name: str = REF, n_accesses: int = 120_000,
-                         core_params: CoreParams | None = None,
-                         ) -> tuple[RunMetrics, MigrationStats]:
-    """Run one application under hotness-driven migration.
 
-    Returns the usual metrics plus the migrator's cost accounting.
-    """
-    migration = migration or MigrationConfig()
-    stream, _ = filtered_stream(app_name, input_name, n_accesses)
-    layout = build_app_trace(app_name, input_name, n_accesses).layout
+def _run_migration(spec: "RunSpec",
+                   core_params: CoreParams | None = None) -> RunMetrics:
+    """Spec-driven migration run (the ``RunSpec.migration`` path)."""
+    migration = spec.migration or MigrationConfig()
+    config = spec.system_config
+    app_name = spec.workload
+    stream, _ = filtered_stream(app_name, spec.input_name, spec.n_accesses)
+    layout = build_app_trace(app_name, spec.input_name,
+                             spec.n_accesses).layout
     memsys = config.build()
     allocator = config.make_allocator(memsys)
     # No profile: everything demand-pages through the POW chain first.
@@ -64,9 +75,55 @@ def run_single_migration(app_name: str, config: SystemConfig,
     params = core_params or CoreParams()
     cycle += params.cycles_for(stream.total_instructions - inst_prev)
     total = _merge_results(results, cycle, stream.total_instructions)
-    metrics = collect_metrics(config.name, "migration", app_name,
-                              [total], memsys)
-    return metrics, migrator.stats
+    meta = run_meta(config=config, policy="migration", workload=app_name,
+                    thresholds=spec.thresholds, faults=spec.faults)
+    meta["migration"] = migrator.stats.to_dict()
+    meta["migration_config"] = migration.to_dict()
+    meta["accesses"] = spec.n_accesses
+    return collect_metrics(config.name, "migration", app_name,
+                           [total], memsys, meta=meta)
+
+
+def run_single_migration(app_name: str, config: SystemConfig,
+                         migration: MigrationConfig | None = None,
+                         input_name: str = REF, n_accesses: int = 120_000,
+                         core_params: CoreParams | None = None,
+                         ) -> tuple[RunMetrics, MigrationStats]:
+    """Run one application under hotness-driven migration.
+
+    Returns the usual metrics plus the migrator's cost accounting.  When
+    the arguments are expressible as a :class:`~repro.sim.spec.RunSpec`
+    (a registered config, default core), the run goes through the sweep
+    engine — result-cached, telemetered — and the stats are rebuilt from
+    the metrics' ``meta["migration"]`` block; custom core parameters
+    fall back to the direct driver.
+    """
+    migration = migration or MigrationConfig()
+    if core_params is None and ALL_SYSTEMS.get(config.name) is config:
+        from repro.experiments.engine import run_cached
+        from repro.sim.spec import RunSpec
+
+        spec = RunSpec(app_name, config.name, "homogen", n_accesses,
+                       input_name=input_name, migration=migration)
+        metrics = run_cached(spec)
+        return metrics, MigrationStats.from_dict(metrics.meta["migration"])
+
+    # Unregistered config or custom core: run the driver directly (no
+    # RunSpec identity exists for it, so no caching either).
+    class _SpecView:
+        """Duck-typed spec substituting the caller's config object."""
+
+        workload = app_name
+        system_config = config
+        thresholds = None
+        faults = None
+
+    view = _SpecView()
+    view.input_name = input_name
+    view.n_accesses = n_accesses
+    view.migration = migration
+    metrics = _run_migration(view, core_params)
+    return metrics, MigrationStats.from_dict(metrics.meta["migration"])
 
 
 def _merge_results(results: list[CoreResult], final_cycle: int,

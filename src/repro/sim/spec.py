@@ -37,9 +37,11 @@ from repro.moca.policy import (
     stock_policy_names,
     thresholds_to_dict,
 )
+from repro.service.spec import OnlineSpec
 from repro.sim.config import ALL_SYSTEMS, SystemConfig
 from repro.sim.metrics import RunMetrics
 from repro.util.rng import ROOT_SEED
+from repro.vm.migration import MigrationConfig
 from repro.workloads.inputs import REF, is_valid_input
 from repro.workloads.mixes import parse_mix_name
 from repro.workloads.spec import APPS
@@ -103,6 +105,19 @@ class RunSpec:
             ``REPRO_FAST_PATH=0`` environment variable downgrades
             default-valued specs process-wide (debugging kill switch)
             without touching cache identity.
+        migration: Hotness-driven page-migration knobs
+            (:class:`~repro.vm.migration.MigrationConfig`).  When set,
+            the run replays in epochs under the hot-page migrator
+            (``policy`` must be ``"homogen"`` — migration systems carry
+            no profile).  Canonical only when set, so every
+            non-migration cache key is untouched.
+        online: Online guidance-service knobs
+            (:class:`~repro.service.spec.OnlineSpec`).  When set, the
+            run replays in epochs against a
+            :class:`~repro.service.GuidanceService` that reclassifies
+            objects from live telemetry (``policy`` must name a
+            classification-based policy, e.g. ``"moca"``).  Canonical
+            only when set.
     """
 
     workload: str
@@ -114,6 +129,8 @@ class RunSpec:
     seed: int = ROOT_SEED
     faults: FaultPlan | None = None
     fast_path: bool = True
+    migration: MigrationConfig | None = None
+    online: OnlineSpec | None = None
 
     def __post_init__(self) -> None:
         if self.config not in ALL_SYSTEMS:
@@ -144,6 +161,30 @@ class RunSpec:
             # A no-op plan must not mint a second cache key for the same
             # numbers; normalize it away.
             object.__setattr__(self, "faults", None)
+        if self.migration is not None and self.online is not None:
+            raise ValueError(
+                "a spec cannot be both a migration run and an online run")
+        if self.migration is not None or self.online is not None:
+            if self.is_multi:
+                raise ValueError(
+                    "migration/online runs are single-core "
+                    f"(got mix {self.workload!r})")
+        if self.migration is not None:
+            if self.policy_name != "homogen":
+                raise ValueError(
+                    "migration runs carry no profile; use policy='homogen' "
+                    f"(got {self.policy_name!r})")
+            if self.migration.target_role not in self.system_config.roles():
+                raise ValueError(
+                    f"system {self.config!r} has no "
+                    f"{self.migration.target_role!r} module to migrate into")
+        if self.online is not None:
+            info = policy_info(self.policy_name)
+            if info.classifier_factory is None:
+                raise ValueError(
+                    f"online runs need a classification-based policy "
+                    f"({self.policy_name!r} registers no classifier); "
+                    f"use 'moca', 'knapsack', or 'ranker'")
 
     # ---- derived ------------------------------------------------------------
 
@@ -209,6 +250,12 @@ class RunSpec:
         # only the non-default value is serialized.
         if not self.fast_path:
             doc["fast_path"] = False
+        # Epoch-replay variants extend the form only when requested, so
+        # every pre-existing key stays byte-identical.
+        if self.migration is not None:
+            doc["migration"] = self.migration.canonical()
+        if self.online is not None:
+            doc["online"] = self.online.canonical()
         return doc
 
     def key(self) -> str:
@@ -219,6 +266,10 @@ class RunSpec:
     def describe(self) -> str:
         """Short human-readable label (progress spans, log lines)."""
         label = f"{self.workload}/{self.config}/{self.policy_label}"
+        if self.migration is not None:
+            label = f"{self.workload}/{self.config}/migration"
+        if self.online is not None:
+            label += f"[{self.online.describe()}]"
         if self.faults is not None:
             label += f"[{self.faults.describe()}]"
         return label
@@ -241,6 +292,14 @@ def run(spec: RunSpec) -> RunMetrics:
             f"spec.seed={spec.seed:#x} differs from the process root seed "
             f"{ROOT_SEED:#x}; re-seeding requires changing "
             f"repro.util.rng.ROOT_SEED before building any traces")
+    if spec.online is not None:
+        from repro.sim.online import _run_online
+
+        return _run_online(spec)
+    if spec.migration is not None:
+        from repro.sim.migration import _run_migration
+
+        return _run_migration(spec)
     # True defers to the process default (REPRO_FAST_PATH kill switch);
     # False is an explicit forced-reference request.
     fast = None if spec.fast_path else False

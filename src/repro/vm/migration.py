@@ -25,6 +25,11 @@ from repro.vm.allocator import OSPageAllocator
 class MigrationConfig:
     """Knobs of the interval-based migrator.
 
+    Frozen and hashable so it can sit directly in a
+    :class:`~repro.sim.spec.RunSpec`; like ``faults``/``fast_path`` it
+    enters ``RunSpec.canonical()`` only when set, keeping every
+    pre-existing cache key byte-stable.
+
     Attributes:
         epoch_misses: LLC misses between migration decisions.
         max_migrations_per_epoch: Hot-page moves per decision point.
@@ -37,6 +42,30 @@ class MigrationConfig:
     max_migrations_per_epoch: int = 32
     target_role: str = "lat"
     shootdown_cycles: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.epoch_misses <= 0:
+            raise ValueError("epoch_misses must be positive")
+        if self.max_migrations_per_epoch <= 0:
+            raise ValueError("max_migrations_per_epoch must be positive")
+        if self.shootdown_cycles < 0:
+            raise ValueError("shootdown_cycles must be non-negative")
+
+    def canonical(self) -> dict:
+        """Stable JSON form folded into ``RunSpec.canonical()``."""
+        return {
+            "epoch_misses": self.epoch_misses,
+            "max_migrations_per_epoch": self.max_migrations_per_epoch,
+            "target_role": self.target_role,
+            "shootdown_cycles": self.shootdown_cycles,
+        }
+
+    to_dict = canonical
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MigrationConfig":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__
+                      if k in data})
 
 
 @dataclass
@@ -53,6 +82,48 @@ class MigrationStats:
     @property
     def overhead_cycles(self) -> int:
         return self.copy_cycles + self.shootdown_cycles
+
+    def to_dict(self) -> dict:
+        """Lossless manifest/telemetry form (see the hypothesis
+        round-trip test in ``tests/test_migration.py``)."""
+        return {
+            "n_epochs": self.n_epochs,
+            "n_migrations": self.n_migrations,
+            "n_swaps": self.n_swaps,
+            "copy_cycles": self.copy_cycles,
+            "shootdown_cycles": self.shootdown_cycles,
+            "bytes_copied": self.bytes_copied,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MigrationStats":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__
+                      if k in data})
+
+
+def charge_page_copy(memsys: MemorySystem, stats: MigrationStats,
+                     src_group: int, dst_group: int,
+                     shootdown_cycles: int) -> int:
+    """Account one page's migration: copy bus time both ways, the TLB
+    shootdown, and both groups' bus occupancy/energy.
+
+    Shared by :class:`HotPageMigrator` and the online guidance service
+    (:mod:`repro.service`) so both charge migrations identically.
+    Returns the cycles to bill the core (copy + shootdown).
+    """
+    src = memsys.groups[src_group].timing
+    dst = memsys.groups[dst_group].timing
+    cycles = src.transfer_cycles(PAGE_BYTES) + dst.transfer_cycles(PAGE_BYTES)
+    stats.copy_cycles += cycles
+    stats.shootdown_cycles += shootdown_cycles
+    stats.bytes_copied += 2 * PAGE_BYTES
+    # The copy occupies both groups' buses (power + later queueing).
+    for g in (src_group, dst_group):
+        mod = memsys.groups[g].modules[0]
+        mod.bus_busy_cycles += memsys.groups[g].timing.transfer_cycles(
+            PAGE_BYTES)
+        mod.bytes_transferred += PAGE_BYTES
+    return cycles + shootdown_cycles
 
 
 class HotPageMigrator:
@@ -84,17 +155,8 @@ class HotPageMigrator:
                 + dst.transfer_cycles(PAGE_BYTES))
 
     def _charge_copy(self, src_group: int, dst_group: int) -> int:
-        cycles = self._copy_cost_cycles(src_group, dst_group)
-        self.stats.copy_cycles += cycles
-        self.stats.shootdown_cycles += self.config.shootdown_cycles
-        self.stats.bytes_copied += 2 * PAGE_BYTES
-        # The copy occupies both groups' buses (power + later queueing).
-        for g in (src_group, dst_group):
-            mod = self.memsys.groups[g].modules[0]
-            mod.bus_busy_cycles += self.memsys.groups[g].timing.transfer_cycles(
-                PAGE_BYTES)
-            mod.bytes_transferred += PAGE_BYTES
-        return cycles + self.config.shootdown_cycles
+        return charge_page_copy(self.memsys, self.stats, src_group,
+                                dst_group, self.config.shootdown_cycles)
 
     def end_epoch(self, vpages: np.ndarray) -> int:
         """Decide migrations from one epoch's demand-miss page stream.

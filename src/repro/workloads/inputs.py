@@ -27,11 +27,16 @@ import re
 
 TRAIN = "train"
 REF = "ref"
+DRIFT = "drift1"
 _INPUTS = (TRAIN, REF)
-#: Accepted input names: ``train``, ``ref``, and numbered reference
-#: variants ``ref2``, ``ref3``, ... (independent perturbations used by
-#: the seed-variance robustness study, ``repro.experiments.variance``).
-_INPUT_RE = re.compile(r"^(train|ref\d*)$")
+#: Accepted input names: ``train``, ``ref``, numbered reference variants
+#: ``ref2``, ``ref3``, ... (independent perturbations used by the
+#: seed-variance robustness study, ``repro.experiments.variance``), and
+#: drifted inputs ``drift1``, ``drift2``, ... whose access-weight
+#: *ranking* departs from the training input (the scenario the online
+#: guidance service exists for — offline profiles misplace on them).
+_INPUT_RE = re.compile(r"^(train|ref\d*|drift\d*)$")
+_DRIFT_RE = re.compile(r"^drift(\d*)$")
 
 
 def input_names() -> tuple[str, ...]:
@@ -40,6 +45,18 @@ def input_names() -> tuple[str, ...]:
 
 def is_valid_input(name: str) -> bool:
     return bool(_INPUT_RE.match(name))
+
+
+def _drift_level(input_name: str) -> float | None:
+    """Drift intensity of an input name, or ``None`` for non-drift inputs.
+
+    ``drift``/``drift1`` → 1.0 (half-blended reversal), ``drift2`` → 2.0
+    (full hot↔cold reversal), higher numbers saturate.
+    """
+    m = _DRIFT_RE.match(input_name)
+    if m is None:
+        return None
+    return float(m.group(1) or 1)
 
 
 def _perturbed(spec: AppSpec, input_name: str) -> tuple[ObjectBehavior, ...]:
@@ -60,7 +77,41 @@ def _perturbed(spec: AppSpec, input_name: str) -> tuple[ObjectBehavior, ...]:
                 size_bytes=max(4096, int(b.size_bytes * size_f)),
                 weight=b.weight * weight_f,
             ))
+    level = _drift_level(input_name)
+    if level is not None:
+        out = _drifted(out, level)
     return tuple(out)
+
+
+def _drifted(behaviors: list[ObjectBehavior],
+             level: float) -> list[ObjectBehavior]:
+    """Blend the heap objects' access weights toward their *reversed*
+    ranking.
+
+    The training profile orders objects by traffic; a drifted input
+    hands the training input's cold objects the hot objects' weights
+    (and vice versa), so offline classification — frozen at profile
+    time — systematically misplaces exactly the objects that matter.
+    ``level`` controls the blend: 1.0 mixes half-way toward the full
+    reversal, >= 2.0 is the complete hot↔cold swap.  Sizes, patterns,
+    and segments are untouched: the *program* is the same, only its
+    input-dependent intensity per object changes (the paper's premise —
+    behaviour similarity across inputs — deliberately broken).
+    """
+    beta = min(1.0, 0.5 * level)
+    heap = [b for b in behaviors if b.segment is None]
+    if len(heap) < 2:
+        return behaviors
+    order = sorted(range(len(heap)), key=lambda i: heap[i].weight)
+    mirrored = {}
+    for rank, idx in enumerate(order):
+        partner = heap[order[len(order) - 1 - rank]]
+        mirrored[idx] = partner.weight
+    drifted = {}
+    for idx, b in enumerate(heap):
+        new_weight = (1.0 - beta) * b.weight + beta * mirrored[idx]
+        drifted[id(b)] = replace(b, weight=new_weight)
+    return [drifted.get(id(b), b) for b in behaviors]
 
 
 @lru_cache(maxsize=64)
@@ -72,7 +123,8 @@ def build_app_trace(app_name: str, input_name: str = TRAIN,
     """
     if not is_valid_input(input_name):
         raise ValueError(
-            f"input must be 'train', 'ref', or 'refN', got {input_name!r}")
+            f"input must be 'train', 'ref'/'refN', or 'driftN', "
+            f"got {input_name!r}")
     spec = app(app_name)
     behaviors = _perturbed(spec, input_name)
     builder = TraceBuilder(list(behaviors))

@@ -111,7 +111,7 @@ class TestCli:
     def test_registry_complete(self):
         expected = {"fig01", "fig02", "table1", "table2", "table3",
                     "thresholds", "capacity", "devices", "variance",
-                    "taillat",
+                    "taillat", "drift",
                     "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
                     "fig14", "fig15", "fig16", "overhead", "headline",
                     "smoke", "resilience"}

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.config import HETER_CONFIG1, HOMOGEN_DDR3
 from repro.sim.migration import run_single_migration
@@ -129,3 +131,48 @@ class TestMigrationRunner:
     def test_homogeneous_target_rejected(self):
         with pytest.raises(ValueError):
             run_single_migration("gcc", HOMOGEN_DDR3, n_accesses=5_000)
+
+    def test_runspec_migration_field_dispatches(self):
+        """The runner is the thin wrapper now: a RunSpec carrying a
+        MigrationConfig routes through run() (and hence the engine's
+        cache/telemetry) and reproduces the wrapper's results."""
+        from repro.sim.spec import RunSpec, run
+        from repro.vm.migration import MigrationStats
+        cfg = MigrationConfig(epoch_misses=300)
+        spec = RunSpec("gcc", "Heter-config1", "homogen", 20_000,
+                       migration=cfg)
+        m = run(spec)
+        assert m.policy == "migration"
+        assert m.meta["migration_config"] == cfg.to_dict()
+        wrapper_m, wrapper_stats = run_single_migration(
+            "gcc", HETER_CONFIG1, cfg, n_accesses=20_000)
+        assert MigrationStats.from_dict(m.meta["migration"]) == wrapper_stats
+        assert m.exec_cycles == wrapper_m.exec_cycles
+
+    def test_migration_needs_homogen_policy(self):
+        from repro.sim.spec import RunSpec
+        with pytest.raises(ValueError, match="homogen"):
+            RunSpec("gcc", "Heter-config1", "moca", 20_000,
+                    migration=MigrationConfig())
+
+
+class TestSerialization:
+    stats_ints = st.integers(0, 2**40)
+
+    @given(st.builds(lambda *v: v, *[stats_ints] * 6))
+    @settings(max_examples=60, deadline=None)
+    def test_migration_stats_roundtrip_is_lossless(self, values):
+        from repro.vm.migration import MigrationStats
+        stats = MigrationStats(*values)
+        clone = MigrationStats.from_dict(stats.to_dict())
+        assert clone == stats
+        assert clone.overhead_cycles == stats.overhead_cycles
+
+    @given(epoch=st.integers(1, 10**6), cap=st.integers(1, 4096),
+           shoot=st.integers(0, 10**5))
+    @settings(max_examples=40, deadline=None)
+    def test_migration_config_roundtrip(self, epoch, cap, shoot):
+        cfg = MigrationConfig(epoch_misses=epoch,
+                              max_migrations_per_epoch=cap,
+                              shootdown_cycles=shoot)
+        assert MigrationConfig.from_dict(cfg.to_dict()) == cfg

@@ -36,6 +36,15 @@ class TestReadme:
         assert namespace["best"].mem_access_cycles \
             < namespace["base"].mem_access_cycles
 
+    def test_online_snippet_runs(self):
+        blocks = _python_blocks()
+        online = next(b for b in blocks if "run_online" in b)
+        shrunk = online.replace("120_000", "12_000")
+        assert "12_000" in shrunk
+        namespace: dict = {}
+        exec(compile(shrunk, "README.md", "exec"), namespace)  # noqa: S102
+        assert namespace["m"].meta["service"]["epochs"] >= 2
+
     def test_mentions_all_deliverable_paths(self):
         text = README.read_text()
         for path in ("DESIGN.md", "EXPERIMENTS.md", "docs/architecture.md",
