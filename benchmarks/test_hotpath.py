@@ -41,13 +41,18 @@ from repro.cpu.hierarchy import CacheHierarchy
 from repro.moca.allocation import HomogeneousPolicy, plan_placement
 from repro.sim.config import ALL_SYSTEMS
 from repro.sim.single import filtered_stream
+from repro.trace.builder import TraceBuilder
+from repro.util.rng import stream
 from repro.workloads.inputs import REF, build_app_trace
+from repro.workloads.spec import app
 
 HERE = Path(__file__).parent
 BASELINE_PATH = HERE / "hotpath_baseline.json"
 RESULT_PATH = HERE / "BENCH_hotpath.json"
 FILTER_BASELINE_PATH = HERE / "filter_baseline.json"
 FILTER_RESULT_PATH = HERE / "BENCH_filter.json"
+SYNTHESIS_BASELINE_PATH = HERE / "synthesis_baseline.json"
+SYNTHESIS_RESULT_PATH = HERE / "BENCH_synthesis.json"
 
 APP = "mcf"
 CONFIG = "Heter-config1"
@@ -161,3 +166,60 @@ def test_filter_speedup_holds():
         f"filter-kernel speedup regressed: measured {speedup:.2f}x, "
         f"floor {floor:.2f}x (baseline {baseline['speedup']}x - 15%); "
         f"see {FILTER_RESULT_PATH}")
+
+
+SYN_APP = "sift"  # loudest win of the 10 stock apps; all are >= 1x
+SYN_ACCESSES = 1_000_000
+
+
+def test_synthesis_speedup_holds():
+    """Trace-synthesis kernel vs reference chunk loop at paper scale.
+
+    1M accesses is where the chunk loop's per-burst Python overhead
+    dominates (the scale ``benchmarks/trace_scale.py`` runs at); the
+    gate app is the stock behaviour mix with the highest measured gain,
+    so a regression here flags kernel rot before the quieter apps feel
+    it.
+    """
+    behaviors = list(app(SYN_APP).behaviors)
+    best: dict[bool, float] = {}
+    traces: dict[bool, object] = {}
+    for fast in (True, False):
+        times = []
+        for _ in range(REPEATS):
+            builder = TraceBuilder(behaviors)
+            rng = stream("bench-synthesis", SYN_APP, SYN_ACCESSES)
+            t0 = time.perf_counter()
+            trace = builder.build(SYN_ACCESSES, rng, fast_path=fast)
+            times.append(time.perf_counter() - t0)
+        best[fast] = min(times)
+        traces[fast] = trace
+
+    # Identity smoke (the exhaustive check lives in test_trace_parity).
+    t_k, t_r = traces[True], traces[False]
+    for name in ("inst", "vaddr", "is_write", "obj_id", "dep"):
+        assert np.array_equal(getattr(t_k, name), getattr(t_r, name)), name
+    assert t_k.total_instructions == t_r.total_instructions
+
+    speedup = best[False] / best[True]
+    doc = {
+        "workload": SYN_APP,
+        "n_accesses": SYN_ACCESSES,
+        "repeats": REPEATS,
+        "ref_seconds": round(best[False], 4),
+        "fast_seconds": round(best[True], 4),
+        "ref_accesses_per_sec": round(SYN_ACCESSES / best[False]),
+        "fast_accesses_per_sec": round(SYN_ACCESSES / best[True]),
+        "speedup": round(speedup, 2),
+    }
+    SYNTHESIS_RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nsynthesis: ref {doc['ref_accesses_per_sec']} acc/s, "
+          f"fast {doc['fast_accesses_per_sec']} acc/s, "
+          f"speedup {doc['speedup']}x")
+
+    baseline = json.loads(SYNTHESIS_BASELINE_PATH.read_text())
+    floor = max(4.0, 0.85 * baseline["speedup"])
+    assert speedup >= floor, (
+        f"synthesis-kernel speedup regressed: measured {speedup:.2f}x, "
+        f"floor {floor:.2f}x (baseline {baseline['speedup']}x - 15%); "
+        f"see {SYNTHESIS_RESULT_PATH}")

@@ -44,23 +44,21 @@ round-parallel batching cannot reproduce.
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LevelResult", "fast_path_default", "run_filter", "simulate_lru"]
+from repro.util.fastpath import fast_path_default
 
-
-def fast_path_default() -> bool:
-    """Process-wide fast-path default (``REPRO_FAST_PATH=0`` kills it).
-
-    Shared by the replay core and the cache filter so one switch
-    re-derives a suspect result on the reference implementations
-    fleet-wide — sweeps, profiling replays, and migration epochs alike —
-    without editing any figure code.
-    """
-    return os.environ.get("REPRO_FAST_PATH", "1") != "0"
+__all__ = [
+    "FilterAccumulator",
+    "LevelResult",
+    "fast_path_default",
+    "finalize_filter",
+    "run_filter",
+    "run_filter_window",
+    "simulate_lru",
+]
 
 
 #: Above this many rounds per trace access the matrix formulation loses
@@ -387,26 +385,48 @@ def install_state(cache, result: LevelResult) -> None:
                 s[tag] = dt_row[col]
 
 
-def run_filter(trace, hierarchy, warm_until: int):
-    """Kernelized :meth:`CacheHierarchy.filter_trace` body.
+@dataclass
+class FilterAccumulator:
+    """Carried state for windowed (bounded-RSS) filtering.
 
-    Returns ``(MissStream, CacheStats)`` byte-identical to the reference
-    loop and leaves ``hierarchy``'s tag stores and hit/miss counters in
-    the identical final state.  ``hierarchy.prefetcher`` must be None
-    (the dispatcher guarantees it).
+    :meth:`~repro.cpu.hierarchy.CacheHierarchy.filter_chunked` feeds
+    trace windows through :func:`run_filter_window` in order; the tag
+    stores live in the hierarchy itself, and everything the monolithic
+    filter kept in locals — the instruction offset fixed at the warmup
+    boundary, per-object tallies in global first-touch order, and the
+    per-window record arrays — is carried here until
+    :func:`finalize_filter` assembles the stream.  ``run_filter`` is
+    the single-window special case.
     """
-    from repro.cpu.hierarchy import (
-        KIND_LOAD,
-        KIND_STORE,
-        KIND_WRITEBACK,
-        CacheStats,
-        MissStream,
-    )
+
+    n_seen: int = 0
+    inst_offset: int = 0
+    last_inst: int = 0
+    n_writebacks: int = 0
+    per_object: dict = field(default_factory=dict)
+    parts: list = field(default_factory=list)
+
+
+def run_filter_window(trace, hierarchy, warm_until: int,
+                      acc: FilterAccumulator) -> None:
+    """Filter one trace window, continuing from carried state.
+
+    ``warm_until`` is the *global* warmup boundary (an access index
+    into the full trace); the window's position comes from
+    ``acc.n_seen``.  Windowing is invisible in the result: splitting a
+    trace at any point and carrying the hierarchy + accumulator state
+    yields the same records, counters, and tallies as one call.
+    """
+    from repro.cpu.hierarchy import KIND_LOAD, KIND_STORE, KIND_WRITEBACK
 
     l1, l2 = hierarchy.l1, hierarchy.l2
     n = len(trace)
     vaddr = trace.vaddr
     is_write = trace.is_write
+    # Warmup boundary in window coordinates; the boundary access itself
+    # lies in this window iff 0 < boundary <= n.
+    boundary = warm_until - acc.n_seen
+    wl = min(max(boundary, 0), n)
 
     # L1 sees every access; L2 sees the L1-miss subsequence.  Both runs
     # cover the warmup region too — exclusion is a bookkeeping concern,
@@ -420,21 +440,22 @@ def run_filter(trace, hierarchy, warm_until: int):
     # Stat counters: the reference resets them at the warmup boundary,
     # so with a warmup window the final values are the measured-region
     # tallies; without one they accumulate on whatever the hierarchy
-    # already held.
-    measured = n - warm_until
-    l1_hits = int(r1.hit[warm_until:].sum())
-    meas2 = idx2 >= warm_until
+    # already held.  Windows wholly inside warmup add nothing and skip
+    # the reset — the boundary window's reset clears their state.
+    measured = n - wl
+    l1_hits = int(r1.hit[wl:].sum())
+    meas2 = idx2 >= wl
     n_meas2 = int(meas2.sum())
     l2_hits = int(r2.hit[meas2].sum())
-    if warm_until > 0:
+    if 0 < boundary <= n:
         l1.n_hits, l1.n_misses = 0, 0
         l2.n_hits, l2.n_misses = 0, 0
+        # Record instructions are renumbered from the boundary access.
+        acc.inst_offset = int(trace.inst[wl - 1])
     l1.n_hits += l1_hits
     l1.n_misses += measured - l1_hits
     l2.n_hits += l2_hits
     l2.n_misses += n_meas2 - l2_hits
-
-    inst_offset = (int(trace.inst[warm_until - 1]) if warm_until > 0 else 0)
 
     # Demand records: measured L2 misses, in trace order; each is
     # followed immediately by a writeback record when it evicted a
@@ -453,7 +474,7 @@ def run_filter(trace, hierarchy, warm_until: int):
     out_kind = np.empty(n_rec, dtype=np.int8)
     shift = hierarchy._line_shift
     base = np.arange(n_dm, dtype=np.int64) + (np.cumsum(wb) - wb)
-    dm_inst = trace.inst[dm] - inst_offset
+    dm_inst = trace.inst[dm] - acc.inst_offset
     out_inst[base] = dm_inst
     out_vline[base] = (vaddr[dm] >> shift) << shift
     out_obj[base] = trace.obj_id[dm]
@@ -472,8 +493,10 @@ def run_filter(trace, hierarchy, warm_until: int):
     # are small non-negative ints after shifting out the segment
     # sentinels (>= -3), so bincount beats sorting; first-touch order
     # comes from a reversed scatter (last write = first occurrence).
-    per_object: dict[int, list[int]] = {}
-    obj_meas = trace.obj_id[warm_until:]
+    # Merging into the carried dict preserves *global* first-touch
+    # order: dict insertion order appends new objects as windows
+    # arrive.
+    obj_meas = trace.obj_id[wl:]
     if obj_meas.size:
         obj_shift = obj_meas.astype(np.int64) + 3
         acc_counts = np.bincount(obj_shift)
@@ -485,11 +508,37 @@ def run_filter(trace, hierarchy, warm_until: int):
         present = np.flatnonzero(acc_counts)
         for v in present[np.argsort(first_pos[present],
                                     kind="stable")].tolist():
-            per_object[v - 3] = [int(acc_counts[v]), int(miss_counts[v])]
+            tallies = acc.per_object.get(v - 3)
+            if tallies is None:
+                acc.per_object[v - 3] = [int(acc_counts[v]),
+                                         int(miss_counts[v])]
+            else:
+                tallies[0] += int(acc_counts[v])
+                tallies[1] += int(miss_counts[v])
 
-    total_inst = (int(trace.inst[-1]) - inst_offset) if n else 0
-    stream = MissStream(inst=out_inst, vline=out_vline, obj_id=out_obj,
-                        dep=out_dep, kind=out_kind,
+    acc.parts.append((out_inst, out_vline, out_obj, out_dep, out_kind))
+    acc.n_writebacks += n_writebacks
+    acc.n_seen += n
+    if n:
+        acc.last_inst = int(trace.inst[-1])
+
+
+def finalize_filter(hierarchy, acc: FilterAccumulator):
+    """Assemble ``(MissStream, CacheStats)`` from carried window state."""
+    from repro.cpu.hierarchy import CacheStats, MissStream
+
+    l1, l2 = hierarchy.l1, hierarchy.l2
+    if acc.parts:
+        inst, vline, obj, dep, kind = (
+            np.concatenate(c) for c in zip(*acc.parts))
+    else:
+        inst = vline = np.empty(0, dtype=np.int64)
+        obj = np.empty(0, dtype=np.int32)
+        dep = np.empty(0, dtype=bool)
+        kind = np.empty(0, dtype=np.int8)
+    total_inst = (acc.last_inst - acc.inst_offset) if acc.n_seen else 0
+    stream = MissStream(inst=inst, vline=vline, obj_id=obj,
+                        dep=dep, kind=kind,
                         total_instructions=total_inst)
     stats = CacheStats(
         total_instructions=total_inst,
@@ -497,7 +546,21 @@ def run_filter(trace, hierarchy, warm_until: int):
         l1_misses=l1.n_misses,
         l2_hits=l2.n_hits,
         l2_misses=l2.n_misses,
-        n_writebacks=n_writebacks,
-        per_object=per_object,
+        n_writebacks=acc.n_writebacks,
+        per_object=acc.per_object,
     )
     return stream, stats
+
+
+def run_filter(trace, hierarchy, warm_until: int):
+    """Kernelized :meth:`CacheHierarchy.filter_trace` body.
+
+    Returns ``(MissStream, CacheStats)`` byte-identical to the reference
+    loop and leaves ``hierarchy``'s tag stores and hit/miss counters in
+    the identical final state.  ``hierarchy.prefetcher`` must be None
+    (the dispatcher guarantees it).  One window through the chunked
+    machinery: ``filter_chunked`` runs the same code per shard.
+    """
+    acc = FilterAccumulator()
+    run_filter_window(trace, hierarchy, warm_until, acc)
+    return finalize_filter(hierarchy, acc)

@@ -117,6 +117,52 @@ class CacheStats:
         return self.per_object[obj_id][1] * 1000.0 / self.total_instructions
 
 
+@dataclass
+class _ReferenceFilterState:
+    """Carried accumulator for the windowed reference filter loop.
+
+    The scalar loop's cross-window state, made explicit so a chunked
+    trace can stream through ``_filter_window_reference`` shard by
+    shard: the instruction offset fixed at the warmup boundary,
+    per-object tallies (dict insertion order = global first-touch
+    order), per-window record arrays, and the prefetcher's outstanding
+    runahead lines.  Tag stores and hit/miss counters live on the
+    hierarchy itself, exactly as in the monolithic loop.
+    """
+
+    n_seen: int = 0
+    inst_offset: int = 0
+    last_inst: int = 0
+    n_writebacks: int = 0
+    per_object: dict[int, list[int]] = field(default_factory=dict)
+    parts: list[tuple] = field(default_factory=list)
+    pf_lines: set[int] = field(default_factory=set)
+
+    def finalize(self, hierarchy: "CacheHierarchy",
+                 ) -> tuple[MissStream, "CacheStats"]:
+        if self.parts:
+            inst, vline, obj, dep, kind = (
+                np.concatenate(c) for c in zip(*self.parts))
+        else:
+            inst = vline = np.empty(0, dtype=np.int64)
+            obj = np.empty(0, dtype=np.int32)
+            dep = np.empty(0, dtype=bool)
+            kind = np.empty(0, dtype=np.int8)
+        total_inst = (self.last_inst - self.inst_offset) if self.n_seen else 0
+        stream = MissStream(inst=inst, vline=vline, obj_id=obj, dep=dep,
+                            kind=kind, total_instructions=total_inst)
+        stats = CacheStats(
+            total_instructions=total_inst,
+            l1_hits=hierarchy.l1.n_hits,
+            l1_misses=hierarchy.l1.n_misses,
+            l2_hits=hierarchy.l2.n_hits,
+            l2_misses=hierarchy.l2.n_misses,
+            n_writebacks=self.n_writebacks,
+            per_object=self.per_object,
+        )
+        return stream, stats
+
+
 class CacheHierarchy:
     """Filters an access trace through L1D + L2, emitting the miss stream."""
 
@@ -170,9 +216,60 @@ class CacheHierarchy:
         self.last_engine = "reference"
         return self._filter_trace_reference(trace, warm_until)
 
+    def filter_chunked(self, chunked, warmup_frac: float = 0.2,
+                       *, fast_path: bool | None = None,
+                       ) -> tuple[MissStream, CacheStats]:
+        """Filter a chunked trace window-by-window in bounded RSS.
+
+        ``chunked`` is a :class:`repro.trace.chunked.ChunkedTrace` (or
+        anything with ``__len__`` and a ``windows()`` iterator of
+        :class:`AccessTrace` windows carrying global ``inst`` counts).
+        The result — stream rows, stats, final tag-store state — is
+        byte-identical to :meth:`filter_trace` on the materialized
+        trace, for both engines: tag stores already live on the
+        hierarchy, and the remaining cross-window state is carried in
+        an explicit accumulator.  Peak RSS is one window plus the
+        accumulated miss records.
+        """
+        if not 0.0 <= warmup_frac < 1.0:
+            raise ValueError("warmup_frac must be in [0, 1)")
+        warm_until = int(len(chunked) * warmup_frac)
+        from repro.cpu import filter_kernel
+
+        use_kernel = (fast_path if fast_path is not None
+                      else filter_kernel.fast_path_default())
+        if use_kernel and self.prefetcher is None:
+            self.last_engine = "kernel"
+            acc = filter_kernel.FilterAccumulator()
+            for window in chunked.windows():
+                filter_kernel.run_filter_window(window, self, warm_until, acc)
+            return filter_kernel.finalize_filter(self, acc)
+        self.last_engine = "reference"
+        state = _ReferenceFilterState()
+        for window in chunked.windows():
+            self._filter_window_reference(window, warm_until, state)
+        return state.finalize(self)
+
     def _filter_trace_reference(self, trace: "AccessTrace", warm_until: int,
                                 ) -> tuple[MissStream, CacheStats]:
-        """The retained per-access reference loop (executable spec)."""
+        """The retained per-access reference loop (executable spec).
+
+        One window through the chunked machinery — the scalar loop
+        itself lives in :meth:`_filter_window_reference` so monolithic
+        and windowed filtering share one specification.
+        """
+        state = _ReferenceFilterState()
+        self._filter_window_reference(trace, warm_until, state)
+        return state.finalize(self)
+
+    def _filter_window_reference(self, trace: "AccessTrace",
+                                 warm_until: int,
+                                 state: _ReferenceFilterState) -> None:
+        """Run one trace window through the scalar loop, carrying state.
+
+        ``warm_until`` is the *global* warmup boundary; the window's
+        position comes from ``state.n_seen``.
+        """
         l1, l2 = self.l1, self.l2
         shift = self._line_shift
         # tolist() turns the numpy columns into plain ints once; iterating
@@ -190,15 +287,16 @@ class CacheHierarchy:
         out_kind: list[int] = []
         wb_positions: list[int] = []  # indices into out_* needing obj resolution
 
-        per_object: dict[int, list[int]] = {}
+        per_object = state.per_object
         n_writebacks = 0
-        # Explicit warmup boundary: warm_until == 0 — whether from
-        # warmup_frac == 0.0 or a nonzero fraction flooring to zero on a
-        # tiny trace — means no exclusion window and no offset.
-        inst_offset = int(insts[warm_until - 1]) if warm_until > 0 else 0
+        # Warmup boundary in window coordinates.  boundary <= 0 — whether
+        # from warmup_frac == 0.0, a nonzero fraction flooring to zero on
+        # a tiny trace, or a window past the boundary — means no exclusion
+        # window here; boundary > n means the whole window warms.
+        boundary = warm_until - state.n_seen
         # Lines brought in by the prefetcher and not yet consumed; a
         # demand hit on one advances the stream (runahead on hit).
-        pf_lines: set[int] = set()
+        pf_lines = state.pf_lines
 
         def _issue_prefetches(obj: int, line: int, inst: int) -> None:
             for pf_addr in self.prefetcher.on_miss(obj, line):
@@ -214,7 +312,7 @@ class CacheHierarchy:
                 pf_line = (pf_addr >> shift) << shift
                 pf_lines.add(pf_line)
                 self.n_prefetches += 1
-                out_inst.append(inst - inst_offset)
+                out_inst.append(inst - state.inst_offset)
                 out_vline.append(pf_line)
                 out_obj.append(obj)
                 out_dep.append(False)
@@ -222,7 +320,7 @@ class CacheHierarchy:
                 nonlocal n_writebacks
                 if pf_evicted is not None and pf_evicted.dirty:
                     n_writebacks += 1
-                    out_inst.append(inst - inst_offset)
+                    out_inst.append(inst - state.inst_offset)
                     out_vline.append(pf_evicted.line_addr)
                     out_obj.append(0)
                     out_dep.append(False)
@@ -231,14 +329,16 @@ class CacheHierarchy:
 
         for i, (inst, vaddr, is_write, obj, dep) in enumerate(
                 zip(insts, vaddrs, writes, objs, deps)):
-            if i < warm_until:
+            if i < boundary:
                 # Warm the tag stores only; no statistics, no records.
                 hit, _ = l1.access(vaddr, is_write)
                 if not hit:
                     l2.access(vaddr, is_write)
-                if i == warm_until - 1:
+                if i == boundary - 1:
                     l1.reset_stats()
                     l2.reset_stats()
+                    # Record instructions renumber from the boundary access.
+                    state.inst_offset = int(inst)
                 continue
             stats = per_object.get(obj)
             if stats is None:
@@ -261,7 +361,7 @@ class CacheHierarchy:
                 continue
             stats[1] += 1
             line = (vaddr >> shift) << shift
-            out_inst.append(inst - inst_offset)
+            out_inst.append(inst - state.inst_offset)
             out_vline.append(line)
             out_obj.append(obj)
             out_dep.append(dep)
@@ -270,32 +370,23 @@ class CacheHierarchy:
                 _issue_prefetches(obj, line, inst)
             if evicted is not None and evicted.dirty:
                 n_writebacks += 1
-                out_inst.append(inst - inst_offset)
+                out_inst.append(inst - state.inst_offset)
                 out_vline.append(evicted.line_addr)
                 out_obj.append(0)  # placeholder, resolved below
                 out_dep.append(False)
                 out_kind.append(KIND_WRITEBACK)
                 wb_positions.append(len(out_obj) - 1)
 
-        total_inst = (int(insts[-1]) - inst_offset) if insts else 0
-        stream = MissStream(
-            inst=np.asarray(out_inst, dtype=np.int64),
-            vline=np.asarray(out_vline, dtype=np.int64),
-            obj_id=np.asarray(out_obj, dtype=np.int32),
-            dep=np.asarray(out_dep, dtype=bool),
-            kind=np.asarray(out_kind, dtype=np.int8),
-            total_instructions=total_inst,
-        )
+        part_inst = np.asarray(out_inst, dtype=np.int64)
+        part_vline = np.asarray(out_vline, dtype=np.int64)
+        part_obj = np.asarray(out_obj, dtype=np.int32)
         if wb_positions:
             pos = np.asarray(wb_positions, dtype=np.int64)
-            stream.obj_id[pos] = trace.resolve_objects(stream.vline[pos])
-        stats = CacheStats(
-            total_instructions=total_inst,
-            l1_hits=l1.n_hits,
-            l1_misses=l1.n_misses,
-            l2_hits=l2.n_hits,
-            l2_misses=l2.n_misses,
-            n_writebacks=n_writebacks,
-            per_object=per_object,
-        )
-        return stream, stats
+            part_obj[pos] = trace.resolve_objects(part_vline[pos])
+        state.parts.append((part_inst, part_vline, part_obj,
+                            np.asarray(out_dep, dtype=bool),
+                            np.asarray(out_kind, dtype=np.int8)))
+        state.n_writebacks += n_writebacks
+        state.n_seen += len(insts)
+        if insts:
+            state.last_inst = int(insts[-1])

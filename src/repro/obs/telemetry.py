@@ -280,6 +280,16 @@ def _peak_rss_kb(ru: resource.struct_rusage) -> int:
     return rss // 1024 if sys.platform == "darwin" else rss
 
 
+def peak_rss_kb() -> int:
+    """This process's lifetime peak resident set size, in KiB.
+
+    A high-water mark, not a gauge: it never decreases, so bounding a
+    workload's footprint with it requires a process that does nothing
+    big *before* the workload (see ``benchmarks/trace_scale.py``).
+    """
+    return _peak_rss_kb(resource.getrusage(resource.RUSAGE_SELF))
+
+
 class _UnitCapture:
     """Open capture handle; see :func:`begin_unit`/:func:`end_unit`."""
 

@@ -26,8 +26,10 @@ from repro.obs.provenance import run_meta
 from repro.obs.registry import OBS
 from repro.sim import stream_store
 from repro.sim.config import CAPACITY_SCALE, SystemConfig
+from repro.trace.chunked import CorruptTraceError
+from repro.trace.events import VirtualLayout
 from repro.util.units import MIB
-from repro.workloads.inputs import REF, build_app_trace
+from repro.workloads.inputs import REF, build_app_trace, build_app_trace_chunked
 from repro.sim.metrics import RunMetrics, collect_metrics
 
 #: (app, input, n_accesses) → how its stream was obtained; feeds
@@ -90,6 +92,68 @@ def filtered_stream(app_name: str, input_name: str, n_accesses: int,
         if store is not None:
             store.put(key, *result)
         return result
+
+
+@lru_cache(maxsize=32)
+def filtered_stream_chunked(app_name: str, input_name: str, n_accesses: int,
+                            chunk_accesses: int,
+                            fast_path: bool | None = None,
+                            ) -> tuple[MissStream, CacheStats, VirtualLayout]:
+    """Cache-filter one application input via the chunked trace store.
+
+    The bounded-RSS sibling of :func:`filtered_stream`: the trace is
+    generated (or reopened) as :class:`~repro.trace.chunked.ChunkedTrace`
+    shards and filtered window-by-window, so peak memory tracks the
+    shard size, not ``n_accesses``.  Results are byte-identical to the
+    monolithic path, which is why the persistent stream store is shared
+    — ``stream_store.filter_key`` deliberately excludes chunking, and a
+    stream computed either way satisfies both.  The trace's
+    :class:`~repro.trace.events.VirtualLayout` rides along in the return
+    value (rebuilt from the shard manifest) so callers never have to
+    materialize the monolithic trace just to see object extents.
+
+    A corrupt shard surfaces as one retry: the store deletes the broken
+    entry when it detects it, so the second attempt regenerates from
+    scratch.  Memoized like :func:`filtered_stream` — treat the returned
+    objects as immutable.
+    """
+    with OBS.span("cache_filter", app=app_name, input=input_name,
+                  n_accesses=n_accesses, chunk_accesses=chunk_accesses):
+        last_error: CorruptTraceError | None = None
+        for attempt in range(2):
+            try:
+                chunked = build_app_trace_chunked(
+                    app_name, input_name, n_accesses, chunk_accesses)
+            except CorruptTraceError as exc:
+                last_error = exc
+                continue
+            layout = chunked.layout
+            store = stream_store.active()
+            key = None
+            if store is not None:
+                key = stream_store.filter_key(app_name, input_name,
+                                              n_accesses)
+                cached = store.get(key)
+                if cached is not None:
+                    _filter_provenance[(app_name, input_name, n_accesses)] = {
+                        "engine": "store", "from_store": True}
+                    OBS.add("filter.store_hits")
+                    return (*cached, layout)
+            hierarchy = CacheHierarchy()
+            try:
+                result = hierarchy.filter_chunked(chunked,
+                                                  fast_path=fast_path)
+            except CorruptTraceError as exc:
+                last_error = exc
+                continue
+            OBS.add("filter.computed")
+            OBS.add("filter.accesses", n_accesses)
+            _filter_provenance[(app_name, input_name, n_accesses)] = {
+                "engine": hierarchy.last_engine, "from_store": False}
+            if store is not None:
+                store.put(key, *result)
+            return (*result, layout)
+        raise last_error  # both attempts hit corrupt shards
 
 
 def make_policy(policy_name: str, app_names: list[str],
@@ -158,12 +222,15 @@ def _run_single(app_name: str, config: SystemConfig,
                 profile_accesses: int | None = None,
                 core_params: CoreParams | None = None,
                 faults: FaultPlan | None = None,
-                fast_path: bool | None = None) -> RunMetrics:
+                fast_path: bool | None = None,
+                trace_chunk_accesses: int | None = None) -> RunMetrics:
     """Run one application on a fresh instance of ``config``.
 
     Internal driver behind :func:`repro.sim.run`.  ``fast_path`` follows
     the :class:`~repro.cpu.core.InOrderWindowCore` convention (``None``
-    = process default).
+    = process default).  ``trace_chunk_accesses`` switches the trace +
+    filter stage to the bounded-RSS chunked pipeline; results are
+    byte-identical either way.
     """
     pspec, context = policy_context(
         policy, [app_name], input_name, n_accesses, config=config,
@@ -171,9 +238,14 @@ def _run_single(app_name: str, config: SystemConfig,
         faults=faults)
     label = pspec.label()
     with OBS.span(f"run.{app_name}.{label}", system=config.name):
-        stream, _ = filtered_stream(app_name, input_name, n_accesses,
-                                    fast_path)
-        layout = build_app_trace(app_name, input_name, n_accesses).layout
+        if trace_chunk_accesses is not None:
+            stream, _, layout = filtered_stream_chunked(
+                app_name, input_name, n_accesses, trace_chunk_accesses,
+                fast_path)
+        else:
+            stream, _ = filtered_stream(app_name, input_name, n_accesses,
+                                        fast_path)
+            layout = build_app_trace(app_name, input_name, n_accesses).layout
         with OBS.span("placement", policy=label):
             memsys = config.build()
             if faults is not None:
@@ -195,6 +267,8 @@ def _run_single(app_name: str, config: SystemConfig,
         meta["fast_path"] = core.fast_path
         meta["filter"] = filter_provenance(app_name, input_name, n_accesses)
         meta["accesses"] = n_accesses
+        if trace_chunk_accesses is not None:
+            meta["trace_chunk_accesses"] = trace_chunk_accesses
         return collect_metrics(config.name, label, app_name,
                                [result], memsys, meta=meta)
 

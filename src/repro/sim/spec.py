@@ -118,6 +118,16 @@ class RunSpec:
             objects from live telemetry (``policy`` must name a
             classification-based policy, e.g. ``"moca"``).  Canonical
             only when set.
+        trace_chunk_accesses: Shard size for chunked trace synthesis
+            and filtering (:mod:`repro.trace.chunked`).  When set, the
+            trace is generated shard-by-shard into the content-
+            addressed trace store and cache-filtered window-by-window,
+            bounding peak RSS at large ``n_accesses``.  Results are
+            byte-identical to the monolithic pipeline (pinned by
+            ``tests/test_trace_chunked.py``), so — like ``fast_path``
+            — the knob enters the canonical form only when set and
+            every default spec keeps its pre-chunking cache key.
+            Single-core plain runs only.
     """
 
     workload: str
@@ -131,6 +141,7 @@ class RunSpec:
     fast_path: bool = True
     migration: MigrationConfig | None = None
     online: OnlineSpec | None = None
+    trace_chunk_accesses: int | None = None
 
     def __post_init__(self) -> None:
         if self.config not in ALL_SYSTEMS:
@@ -185,6 +196,19 @@ class RunSpec:
                     f"online runs need a classification-based policy "
                     f"({self.policy_name!r} registers no classifier); "
                     f"use 'moca', 'knapsack', or 'ranker'")
+        if self.trace_chunk_accesses is not None:
+            if self.trace_chunk_accesses <= 0:
+                raise ValueError(
+                    f"trace_chunk_accesses must be positive, "
+                    f"got {self.trace_chunk_accesses}")
+            if self.is_multi:
+                raise ValueError(
+                    "chunked traces are single-core "
+                    f"(got mix {self.workload!r})")
+            if self.migration is not None or self.online is not None:
+                raise ValueError(
+                    "trace_chunk_accesses is not supported on "
+                    "migration/online epoch-replay runs")
 
     # ---- derived ------------------------------------------------------------
 
@@ -256,6 +280,11 @@ class RunSpec:
             doc["migration"] = self.migration.canonical()
         if self.online is not None:
             doc["online"] = self.online.canonical()
+        # Chunked synthesis/filtering produces the same bits, but — as
+        # with fast_path — a chunked run is a distinct request, and only
+        # the non-default value is serialized.
+        if self.trace_chunk_accesses is not None:
+            doc["trace_chunk_accesses"] = self.trace_chunk_accesses
         return doc
 
     def key(self) -> str:
@@ -303,10 +332,17 @@ def run(spec: RunSpec) -> RunMetrics:
     # True defers to the process default (REPRO_FAST_PATH kill switch);
     # False is an explicit forced-reference request.
     fast = None if spec.fast_path else False
-    runner = _run_multi if spec.is_multi else _run_single
-    return runner(spec.workload, spec.system_config, spec.policy,
-                  input_name=spec.input_name,
-                  n_accesses=spec.n_accesses,
-                  thresholds=spec.thresholds,
-                  faults=spec.faults,
-                  fast_path=fast)
+    if spec.is_multi:
+        return _run_multi(spec.workload, spec.system_config, spec.policy,
+                          input_name=spec.input_name,
+                          n_accesses=spec.n_accesses,
+                          thresholds=spec.thresholds,
+                          faults=spec.faults,
+                          fast_path=fast)
+    return _run_single(spec.workload, spec.system_config, spec.policy,
+                       input_name=spec.input_name,
+                       n_accesses=spec.n_accesses,
+                       thresholds=spec.thresholds,
+                       faults=spec.faults,
+                       fast_path=fast,
+                       trace_chunk_accesses=spec.trace_chunk_accesses)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.trace import patterns
 from repro.trace.events import AccessTrace, VirtualLayout
+from repro.util.fastpath import fast_path_default
 
 PATTERNS = ("seq", "strided", "rand", "chase", "hotspot")
 
@@ -87,16 +88,65 @@ class TraceBuilder:
             raise ValueError("at least one behaviour needs positive weight")
         if mem_per_ki <= 0:
             raise ValueError("mem_per_ki must be positive")
+        if access_bytes <= 0:
+            raise ValueError(
+                f"access_bytes must be positive, got {access_bytes}")
         self.behaviors = list(behaviors)
         self.mem_per_ki = mem_per_ki
         self.access_bytes = access_bytes
 
     def build(self, n_accesses: int, rng: np.random.Generator,
-              layout: VirtualLayout | None = None) -> AccessTrace:
-        """Generate a trace of ``n_accesses`` memory references."""
+              layout: VirtualLayout | None = None,
+              fast_path: bool | None = None) -> AccessTrace:
+        """Generate a trace of ``n_accesses`` memory references.
+
+        ``fast_path`` selects the vectorized synthesis kernel
+        (:mod:`repro.trace.kernel`), which is bit-identical to the
+        reference chunk loop; ``None`` follows the process-wide
+        ``REPRO_FAST_PATH`` switch.
+        """
+        layout = layout or VirtualLayout()
+        blocks = self.iter_blocks(n_accesses, rng, layout=layout,
+                                  fast_path=fast_path)
+        vaddr_parts: list[np.ndarray] = []
+        write_parts: list[np.ndarray] = []
+        dep_parts: list[np.ndarray] = []
+        obj_parts: list[np.ndarray] = []
+        gap_parts: list[np.ndarray] = []
+        for vaddr, is_write, dep, obj_id, gaps in blocks:
+            vaddr_parts.append(vaddr)
+            write_parts.append(is_write)
+            dep_parts.append(dep)
+            obj_parts.append(obj_id)
+            gap_parts.append(gaps)
+
+        default_gap = max(1.0, 1000.0 / self.mem_per_ki)
+        gaps = np.concatenate(gap_parts)[:n_accesses]
+        inst = np.cumsum(gaps)
+        return AccessTrace(
+            inst=inst,
+            vaddr=np.concatenate(vaddr_parts)[:n_accesses].astype(np.int64),
+            is_write=np.concatenate(write_parts)[:n_accesses],
+            dep=np.concatenate(dep_parts)[:n_accesses],
+            obj_id=np.concatenate(obj_parts)[:n_accesses],
+            layout=layout,
+            total_instructions=int(inst[-1] + round(default_gap)),
+        )
+
+    def iter_blocks(self, n_accesses: int, rng: np.random.Generator,
+                    layout: VirtualLayout | None = None,
+                    fast_path: bool | None = None):
+        """Stream the trace as ``(vaddr, is_write, dep, obj_id, gaps)``
+        column blocks totalling exactly ``n_accesses`` rows.
+
+        This is the bounded-RSS entry point ``trace.chunked`` shards
+        from; :meth:`build` is a concatenation of it.  Blocks are
+        per-chunk on the reference path and larger batches on the
+        kernel path — concatenated content is identical either way.
+        """
         if n_accesses <= 0:
             raise ValueError("n_accesses must be positive")
-        layout = layout or VirtualLayout()
+        layout = layout if layout is not None else VirtualLayout()
         bases: list[int] = []
         ids: list[int] = []
         for b in self.behaviors:
@@ -112,6 +162,19 @@ class TraceBuilder:
                 bases.append(seg.vbase)
                 ids.append(seg.obj_id)
 
+        from repro.trace import kernel
+        fast = fast_path if fast_path is not None else fast_path_default()
+        if fast and kernel.supported(self, rng):
+            return kernel.iter_kernel_blocks(self, n_accesses, rng, bases, ids)
+        return self._iter_reference(n_accesses, rng, bases, ids)
+
+    def _iter_reference(self, n_accesses: int, rng: np.random.Generator,
+                        bases: list[int], ids: list[int]):
+        """The reference chunk loop, yielding one column block per chunk.
+
+        This is the executable specification the kernel is pinned
+        against — keep it scalar and obvious.
+        """
         # Chunk-selection probability is weight/burst so that the *access*
         # share of each behaviour equals its weight (a chunk contributes
         # burst_mean accesses once selected).
@@ -130,11 +193,6 @@ class TraceBuilder:
         gap_means = [b.gap_mean if b.gap_mean is not None else default_gap
                      for b in self.behaviors]
 
-        vaddr_parts: list[np.ndarray] = []
-        write_parts: list[np.ndarray] = []
-        dep_parts: list[np.ndarray] = []
-        obj_parts: list[np.ndarray] = []
-        gap_parts: list[np.ndarray] = []
         seq_cursor = [0] * len(self.behaviors)
         total = 0
         ci = 0
@@ -153,38 +211,21 @@ class TraceBuilder:
             if n <= 0:
                 continue
             offsets = self._burst(b, bi, n, rng, seq_cursor)
-            vaddr_parts.append(bases[bi] + offsets)
-            write_parts.append(rng.random(n) < b.write_frac)
             dp = b.effective_dep_prob
+            vaddr = bases[bi] + offsets
+            is_write = rng.random(n) < b.write_frac
             if dp >= 1.0:
-                dep_parts.append(np.ones(n, dtype=bool))
+                dep = np.ones(n, dtype=bool)
             elif dp <= 0.0:
-                dep_parts.append(np.zeros(n, dtype=bool))
+                dep = np.zeros(n, dtype=bool)
             else:
-                dep_parts.append(rng.random(n) < dp)
-            obj_parts.append(np.full(n, ids[bi], dtype=np.int32))
+                dep = rng.random(n) < dp
+            obj_id = np.full(n, ids[bi], dtype=np.int32)
             # Per-burst instruction gaps with the behaviour's own density.
             gm = gap_means[bi]
-            gap_parts.append(rng.geometric(1.0 / gm, size=n).astype(np.int64))
+            gaps = rng.geometric(1.0 / gm, size=n).astype(np.int64)
             total += n
-
-        vaddr = np.concatenate(vaddr_parts)[:n_accesses]
-        is_write = np.concatenate(write_parts)[:n_accesses]
-        dep = np.concatenate(dep_parts)[:n_accesses]
-        obj_id = np.concatenate(obj_parts)[:n_accesses]
-        gaps = np.concatenate(gap_parts)[:n_accesses]
-        inst = np.cumsum(gaps)
-        total_instructions = int(inst[-1] + round(default_gap))
-
-        return AccessTrace(
-            inst=inst,
-            vaddr=vaddr.astype(np.int64),
-            is_write=is_write,
-            obj_id=obj_id,
-            dep=dep,
-            layout=layout,
-            total_instructions=total_instructions,
-        )
+            yield vaddr.astype(np.int64), is_write, dep, obj_id, gaps
 
     def _burst(self, b: ObjectBehavior, bi: int, n: int,
                rng: np.random.Generator, seq_cursor: list[int]) -> np.ndarray:

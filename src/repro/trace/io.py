@@ -18,25 +18,126 @@ from pathlib import Path
 import numpy as np
 
 from repro.cpu.hierarchy import SEG_CODE, SEG_GLOBAL, SEG_STACK
-from repro.trace.events import AccessTrace, PlacedObject, VirtualLayout
+from repro.trace.events import (
+    PAGE_BYTES,
+    AccessTrace,
+    PlacedObject,
+    VirtualLayout,
+    _page_ceil,
+)
 
 FORMAT_VERSION = 1
+
+#: Column name → required dtype.  External producers (Pin/DynamoRIO
+#: converters, other languages) routinely emit int32 counters or uint8
+#: flags; columns are coerced on load so kernels can keep assuming the
+#: canonical dtypes.
+COLUMN_DTYPES = {
+    "inst": np.int64,
+    "vaddr": np.int64,
+    "is_write": np.bool_,
+    "obj_id": np.int32,
+    "dep": np.bool_,
+}
+
+
+def coerce_columns(columns: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Validate and dtype-coerce the five access columns.
+
+    Raises ``ValueError`` naming the offending column when a column is
+    missing, not 1-D, of unequal length, non-coercible (e.g. floats
+    into ``inst``), or when ``inst`` is not monotonically non-decreasing
+    (an unsorted instruction column silently corrupts episode
+    segmentation downstream).
+    """
+    out: dict[str, np.ndarray] = {}
+    n = None
+    for name, dtype in COLUMN_DTYPES.items():
+        if name not in columns:
+            raise ValueError(f"trace column {name!r} is missing")
+        col = np.asarray(columns[name])
+        if col.ndim != 1:
+            raise ValueError(
+                f"trace column {name!r} must be 1-D, got shape {col.shape}")
+        if n is None:
+            n = len(col)
+        elif len(col) != n:
+            raise ValueError(
+                f"trace column {name!r} has {len(col)} rows, "
+                f"expected {n} (columns must be equal length)")
+        if col.dtype != dtype:
+            if not (np.issubdtype(col.dtype, np.integer)
+                    or col.dtype == np.bool_):
+                raise ValueError(
+                    f"trace column {name!r} has non-integer dtype "
+                    f"{col.dtype} (cannot coerce to {np.dtype(dtype)})")
+            coerced = col.astype(dtype)
+            if np.issubdtype(np.dtype(dtype), np.integer) \
+                    and not np.array_equal(coerced, col):
+                raise ValueError(
+                    f"trace column {name!r} overflows {np.dtype(dtype)}")
+            col = coerced
+        out[name] = col
+    if n and np.any(np.diff(out["inst"]) < 0):
+        raise ValueError(
+            "trace column 'inst' must be monotonically non-decreasing")
+    return out
+
+
+def layout_to_doc(layout: VirtualLayout) -> dict:
+    """JSON-compatible description of a layout (objects + segments).
+
+    Shared by the single-file trace format and the chunked shard
+    manifests (:mod:`repro.trace.chunked`), so both round-trip layouts
+    identically.
+    """
+    return {
+        "objects": [
+            {"name": o.name, "vbase": o.vbase, "size_bytes": o.size_bytes,
+             "site": o.site}
+            for o in layout.objects
+        ],
+        "segments": {
+            str(seg_id): {"vbase": seg.vbase, "size_bytes": seg.size_bytes,
+                          "name": seg.name}
+            for seg_id, seg in layout.segments.items()
+        },
+    }
+
+
+def layout_from_doc(doc: dict) -> VirtualLayout:
+    """Rebuild a :class:`VirtualLayout` from :func:`layout_to_doc` output."""
+    layout = VirtualLayout()
+    for obj in doc["objects"]:
+        placed = layout.place(obj["name"], obj["size_bytes"],
+                              site=obj["site"])
+        if placed.vbase != obj["vbase"]:
+            # Layout packing changed since the trace was written;
+            # rebuild the placement verbatim instead.  The packing
+            # cursor must follow the rebuilt extent (never move
+            # backwards), or a later place() could overlap it.
+            rebuilt = PlacedObject(
+                placed.obj_id, obj["name"], obj["vbase"],
+                obj["size_bytes"], obj["site"])
+            layout.objects[-1] = rebuilt
+            layout._cursor = max(
+                layout._cursor,
+                _page_ceil(rebuilt.vend) + PAGE_BYTES)
+            layout._ranges_dirty = True
+    for seg_key, seg in doc["segments"].items():
+        seg_id = int(seg_key)
+        if seg_id in (SEG_STACK, SEG_CODE, SEG_GLOBAL):
+            layout.segments[seg_id] = PlacedObject(
+                seg_id, seg["name"], seg["vbase"], seg["size_bytes"])
+            layout._ranges_dirty = True
+    return layout
 
 
 def save_trace(trace: AccessTrace, path: str | Path) -> None:
     """Write a trace to ``path`` (conventionally ``*.trace.npz``)."""
     layout_doc = {
         "version": FORMAT_VERSION,
-        "objects": [
-            {"name": o.name, "vbase": o.vbase, "size_bytes": o.size_bytes,
-             "site": o.site}
-            for o in trace.layout.objects
-        ],
-        "segments": {
-            str(seg_id): {"vbase": seg.vbase, "size_bytes": seg.size_bytes,
-                          "name": seg.name}
-            for seg_id, seg in trace.layout.segments.items()
-        },
+        **layout_to_doc(trace.layout),
         "total_instructions": trace.total_instructions,
     }
     np.savez_compressed(
@@ -57,29 +158,29 @@ def load_trace(path: str | Path) -> AccessTrace:
         if doc.get("version") != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported trace format version {doc.get('version')!r}")
-        layout = VirtualLayout()
-        for obj in doc["objects"]:
-            placed = layout.place(obj["name"], obj["size_bytes"],
-                                  site=obj["site"])
-            if placed.vbase != obj["vbase"]:
-                # Layout packing changed since the trace was written;
-                # rebuild the placement verbatim instead.
-                layout.objects[-1] = PlacedObject(
-                    placed.obj_id, obj["name"], obj["vbase"],
-                    obj["size_bytes"], obj["site"])
-                layout._ranges_dirty = True
-        for seg_key, seg in doc["segments"].items():
-            seg_id = int(seg_key)
-            if seg_id in (SEG_STACK, SEG_CODE, SEG_GLOBAL):
-                layout.segments[seg_id] = PlacedObject(
-                    seg_id, seg["name"], seg["vbase"], seg["size_bytes"])
-                layout._ranges_dirty = True
+        layout = layout_from_doc(doc)
+        cols = coerce_columns({name: data[name] for name in COLUMN_DTYPES})
         return AccessTrace(
-            inst=data["inst"],
-            vaddr=data["vaddr"],
-            is_write=data["is_write"],
-            obj_id=data["obj_id"],
-            dep=data["dep"],
             layout=layout,
             total_instructions=int(doc["total_instructions"]),
+            **cols,
         )
+
+
+def import_trace(path: str | Path, directory: str | Path, *,
+                 chunk_accesses: int):
+    """Import a saved/captured trace as a chunked store entry.
+
+    The bounded-RSS on-ramp for external traces: a ``*.trace.npz``
+    bundle (written by :func:`save_trace`, or converted from a Pin/
+    DynamoRIO/gem5 capture into the same column format) is resharded
+    into :class:`repro.trace.chunked.ChunkedTrace` shards under
+    ``directory``, after which the cache filter can consume it window
+    by window without ever holding the whole trace.  Columns pass
+    through :func:`coerce_columns` on load, so external dtype slop is
+    normalized before the shards are written.
+    """
+    from repro.trace import chunked
+
+    return chunked.chunk_trace(load_trace(path), directory,
+                               chunk_accesses=chunk_accesses)

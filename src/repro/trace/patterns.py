@@ -22,9 +22,13 @@ import numpy as np
 
 
 def _aligned(offsets: np.ndarray, size: int, align: int) -> np.ndarray:
-    """Clamp into [0, size) and align down."""
-    limit = max(align, size - align)
-    out = np.minimum(offsets, limit - 1)
+    """Clamp into ``[0, size - align]`` and align down.
+
+    The clamp ceiling is the last offset where a full ``align``-byte
+    access still fits inside the object; objects smaller than one
+    access collapse to offset 0.
+    """
+    out = np.minimum(offsets, max(0, size - align))
     return (out // align) * align
 
 

@@ -130,3 +130,33 @@ def build_app_trace(app_name: str, input_name: str = TRAIN,
     builder = TraceBuilder(list(behaviors))
     rng = stream("trace", app_name, input_name, n_accesses)
     return builder.build(n_accesses, rng)
+
+
+def build_app_trace_chunked(app_name: str, input_name: str,
+                            n_accesses: int, chunk_accesses: int):
+    """Build (or reopen) one application input as a chunked trace.
+
+    The bounded-RSS sibling of :func:`build_app_trace`: identical RNG
+    stream and behaviours, but the columns land as shards in the
+    active :mod:`repro.trace.chunked` store instead of in memory, so
+    shard *content* is byte-identical to the monolithic trace.  The
+    store is content-addressed, so repeated calls (and other
+    processes sharing the store directory) reuse the generated shards.
+    """
+    from repro.trace import chunked
+
+    if not is_valid_input(input_name):
+        raise ValueError(
+            f"input must be 'train', 'ref'/'refN', or 'driftN', "
+            f"got {input_name!r}")
+    store = chunked.active()
+    key = chunked.trace_key(app_name, input_name, n_accesses,
+                            chunk_accesses)
+    cached = store.get(key)
+    if cached is not None:
+        return cached
+    spec = app(app_name)
+    behaviors = _perturbed(spec, input_name)
+    builder = TraceBuilder(list(behaviors))
+    rng = stream("trace", app_name, input_name, n_accesses)
+    return store.build(key, builder, n_accesses, rng)

@@ -1,0 +1,157 @@
+"""Property-based parity: synthesis kernel vs reference chunk loop.
+
+The vectorized trace-synthesis kernel (``repro.trace.kernel``) claims
+bit-exactness with the reference builder loop — same columns, same
+instruction counter, same final RNG state — for every supported
+behaviour mix.  Hypothesis sweeps the behaviour space (all five
+patterns, geometric gap means straddling numpy's two sampling paths,
+burst/write/dependency parameters, multi-object mixes) and holds the
+kernel to that claim.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import kernel
+from repro.trace.builder import ObjectBehavior, TraceBuilder
+from repro.util.rng import stream
+
+#: gap_mean values straddle the numpy geometric sampler's two regimes:
+#: the search path (p >= 1/3, i.e. gap_mean <= 3) and the
+#: exponential-ziggurat path (p < 1/3), including the 3.0 boundary.
+_GAP_MEANS = st.one_of(
+    st.none(),
+    st.sampled_from([1.0, 2.0, 3.0]),
+    st.floats(min_value=3.0, max_value=40.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def behaviors(draw, index=0):
+    pattern = draw(st.sampled_from(
+        ["seq", "strided", "rand", "chase", "hotspot"]))
+    return ObjectBehavior(
+        name=f"obj{index}",
+        size_bytes=draw(st.integers(min_value=64, max_value=1 << 20)),
+        weight=draw(st.floats(min_value=0.05, max_value=10.0)),
+        pattern=pattern,
+        burst_mean=draw(st.floats(min_value=1.0, max_value=128.0)),
+        write_frac=draw(st.floats(min_value=0.0, max_value=1.0)),
+        stride=draw(st.sampled_from([8, 24, 64, 256, 4096])),
+        hot_fraction=draw(st.floats(min_value=0.01, max_value=1.0)),
+        hot_weight=draw(st.floats(min_value=0.0, max_value=1.0)),
+        dep_prob=draw(st.floats(min_value=0.0, max_value=1.0)),
+        gap_mean=draw(_GAP_MEANS),
+        site=index,
+    )
+
+
+@st.composite
+def behavior_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    return [draw(behaviors(index=i)) for i in range(n)]
+
+
+def _build_both(behaviors_list, n_accesses, *, mem_per_ki=100.0):
+    """Build the same trace twice (kernel, reference); return both plus
+    the final RNG states."""
+    out = []
+    for fast in (True, False):
+        builder = TraceBuilder(list(behaviors_list), mem_per_ki=mem_per_ki)
+        rng = stream("parity", n_accesses)
+        if fast:
+            assert kernel.supported(builder, rng), \
+                "strategy generated an unsupported config"
+        trace = builder.build(n_accesses, rng, fast_path=fast)
+        out.append((trace, rng.bit_generator.state))
+    return out
+
+
+def _assert_identical(fast, ref):
+    (t_fast, s_fast), (t_ref, s_ref) = fast, ref
+    np.testing.assert_array_equal(t_fast.inst, t_ref.inst)
+    np.testing.assert_array_equal(t_fast.vaddr, t_ref.vaddr)
+    np.testing.assert_array_equal(t_fast.is_write, t_ref.is_write)
+    np.testing.assert_array_equal(t_fast.dep, t_ref.dep)
+    np.testing.assert_array_equal(t_fast.obj_id, t_ref.obj_id)
+    assert t_fast.total_instructions == t_ref.total_instructions
+    assert s_fast == s_ref, "kernel consumed a different RNG word count"
+
+
+class TestKernelParity:
+    @given(behavior_lists(), st.integers(min_value=1, max_value=6000))
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_across_behavior_space(self, bs, n):
+        fast, ref = _build_both(bs, n)
+        _assert_identical(fast, ref)
+
+    @given(behaviors(), st.floats(min_value=10.0, max_value=2000.0))
+    @settings(max_examples=25, deadline=None)
+    def test_mem_intensity_sweep(self, b, mem_per_ki):
+        """The default inter-access gap depends on mem_per_ki; the
+        kernel must reproduce the rounding at every intensity."""
+        fast, ref = _build_both([b], 2000, mem_per_ki=mem_per_ki)
+        _assert_identical(fast, ref)
+
+    def test_single_access_trace(self):
+        b = ObjectBehavior("one", 4096, 1.0, pattern="rand")
+        fast, ref = _build_both([b], 1)
+        _assert_identical(fast, ref)
+
+    def test_zero_weight_object_skipped_identically(self):
+        """A never-scheduled behaviour must not perturb either engine
+        (the reference never evaluates it; supported() ignores it)."""
+        bs = [ObjectBehavior("hot", 65536, 1.0, pattern="hotspot"),
+              ObjectBehavior("dead", 4096, 0.0, pattern="seq")]
+        fast, ref = _build_both(bs, 3000)
+        _assert_identical(fast, ref)
+
+    def test_chase_forces_dependencies(self):
+        bs = [ObjectBehavior("list", 1 << 18, 1.0, pattern="chase",
+                             dep_prob=0.0, gap_mean=25.0)]
+        fast, ref = _build_both(bs, 4000)
+        _assert_identical(fast, ref)
+        assert bool(ref[0].dep[1:].all() or len(ref[0].dep) <= 1)
+
+
+class TestKernelDispatch:
+    def _builder(self):
+        return TraceBuilder([ObjectBehavior("o", 8192, 1.0)])
+
+    def test_unsupported_configs_decline(self):
+        rng = stream("disp", 1)
+        assert not kernel.supported(
+            TraceBuilder([ObjectBehavior("tiny", 4, 1.0, pattern="seq")]),
+            rng)
+        assert not kernel.supported(
+            TraceBuilder([ObjectBehavior("huge", 1 << 33, 1.0,
+                                         pattern="rand")]), rng)
+        assert not kernel.supported(
+            self._builder(), np.random.Generator(np.random.MT19937(1)))
+
+    def test_fast_path_false_uses_reference(self, monkeypatch):
+        def boom(*a, **k):
+            raise AssertionError("kernel invoked despite fast_path=False")
+        monkeypatch.setattr(kernel, "iter_kernel_blocks", boom)
+        self._builder().build(500, stream("disp", 2), fast_path=False)
+
+    def test_kill_switch_env_disables_kernel(self, monkeypatch):
+        def boom(*a, **k):
+            raise AssertionError("kernel invoked despite REPRO_FAST_PATH=0")
+        monkeypatch.setattr(kernel, "iter_kernel_blocks", boom)
+        monkeypatch.setenv("REPRO_FAST_PATH", "0")
+        self._builder().build(500, stream("disp", 3), fast_path=None)
+
+    def test_default_dispatch_reaches_kernel(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
+        called = {}
+        real = kernel.iter_kernel_blocks
+
+        def spy(*a, **k):
+            called["yes"] = True
+            return real(*a, **k)
+        monkeypatch.setattr(kernel, "iter_kernel_blocks", spy)
+        self._builder().build(500, stream("disp", 4), fast_path=None)
+        assert called.get("yes")
