@@ -25,6 +25,12 @@ Robustness rules:
 Hits/misses/stores/evictions flow through ``OBS`` counters
 (``cache.hit``, ``cache.miss``, ...), and :class:`CacheStats` aggregates
 them per cache instance for the sweep manifest's hit ratio.
+
+A process-level memo fronts the disk entries: repeated lookups of the
+same spec (re-executed figures, resumed campaigns, the batched warm
+pass) skip the read+parse entirely.  Memo entries are validated against
+the file's ``(mtime_ns, size)`` so a sibling process overwriting an
+entry invalidates ours, and ``--refresh`` clears the memo outright.
 """
 
 from __future__ import annotations
@@ -37,11 +43,22 @@ from pathlib import Path
 from repro.obs.registry import OBS
 from repro.sim.metrics import RunMetrics
 from repro.sim.spec import RunSpec
+from repro.util.resident import ResidentLRU
 
-__all__ = ["CACHE_VERSION", "CacheStats", "ResultCache"]
+__all__ = ["CACHE_VERSION", "CacheStats", "ResultCache", "memo_stats"]
 
 #: On-disk entry format; entries from other versions are ignored.
 CACHE_VERSION = 1
+
+#: Process-level memo of parsed entries, keyed ``(directory, spec key)``
+#: with the entry file's stat signature; bounded so an unbounded
+#: campaign cannot grow it past ~256 parsed metric dicts.
+_MEMO = ResidentLRU(256)
+
+
+def memo_stats() -> dict:
+    """Process-level memo tallies (for telemetry/debugging)."""
+    return _MEMO.stats_dict()
 
 
 @dataclass
@@ -89,9 +106,24 @@ class ResultCache:
         self.refresh = refresh
         self.max_entries = max_entries
         self.stats = CacheStats()
+        if refresh:
+            # --refresh means "distrust everything cached", including
+            # what this process already parsed.
+            _MEMO.clear()
 
     def path_for(self, spec: RunSpec) -> Path:
         return self.directory / f"{spec.key()}.json"
+
+    def _memo_key(self, spec: RunSpec) -> tuple:
+        return (str(self.directory), spec.key())
+
+    @staticmethod
+    def _stat_sig(path: Path) -> tuple | None:
+        try:
+            st = path.stat()
+        except (FileNotFoundError, OSError):
+            return None
+        return (st.st_mtime_ns, st.st_size)
 
     # ---- read --------------------------------------------------------------
 
@@ -101,6 +133,15 @@ class ResultCache:
         if self.refresh:
             self._miss(refresh=True)
             return None
+        sig = self._stat_sig(path)
+        if sig is not None:
+            memoed = _MEMO.get(self._memo_key(spec))
+            if memoed is not None and memoed[0] == sig:
+                self.stats.hits += 1
+                OBS.add("cache.hit")
+                OBS.add("cache.memo_hit")
+                OBS.add("data_plane.copies_avoided")
+                return RunMetrics.from_dict(memoed[1])
         try:
             raw = path.read_text()
         except (FileNotFoundError, OSError):
@@ -126,6 +167,12 @@ class ResultCache:
             return None
         self.stats.hits += 1
         OBS.add("cache.hit")
+        # Re-stat after the read: the signature must describe the bytes
+        # we actually parsed, not whatever was there before a concurrent
+        # overwrite.
+        sig = self._stat_sig(path)
+        if sig is not None:
+            _MEMO.put(self._memo_key(spec), (sig, doc["metrics"]))
         return metrics
 
     def _miss(self, refresh: bool = False) -> None:
@@ -149,6 +196,9 @@ class ResultCache:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(doc, indent=1))
         os.replace(tmp, path)
+        sig = self._stat_sig(path)
+        if sig is not None:
+            _MEMO.put(self._memo_key(spec), (sig, doc["metrics"]))
         self.stats.stores += 1
         OBS.add("cache.store")
         if self.max_entries is not None:

@@ -18,10 +18,14 @@ The engine turns a list of :class:`~repro.sim.spec.RunSpec` units into
    interrupted or partially-failed sweep resumes where it stopped and a
    repeated campaign after a no-op change is near-instant.
 
-Units are submitted individually (timeout/retry granularity demands it)
-but in workload order, so a worker draining the queue still sees runs of
-mostly the same workload and its memoized cache-filter
-(``repro.sim.single.filtered_stream``) stays warm.
+Units are enqueued in workload order and — when ``REPRO_BATCH_UNITS``
+(or the adaptive default) says so — dispatched as workload-major
+*batches*: several first-attempt units of one workload share a single
+future, amortizing pickle/IPC and keeping each worker's resident
+caches (``filtered_stream`` memo, mmap stream store, replay decode
+tables) hot.  Retried units always travel alone, so timeout/retry
+granularity is unchanged where it matters; a failed unit inside a
+batch is re-enqueued individually while its siblings' results stand.
 
 Cache selection, in priority order: an explicit :func:`configure` call
 (the CLIs' ``--cache-dir``/``--no-cache``/``--refresh`` flags), else the
@@ -48,6 +52,7 @@ from repro.experiments.resilience import (
     RetryPolicy,
     SweepFailure,
     chaos_probe,
+    current_batch_size,
     run_resilient,
 )
 from repro.obs import telemetry as obstel
@@ -58,15 +63,18 @@ from repro.sim.spec import RunSpec, run
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "ENV_BATCH",
     "active_cache",
     "add_observer",
     "cache_stats",
     "campaign_telemetry",
     "configure",
+    "configure_dispatch",
     "configure_profile",
     "configure_resilience",
     "configure_telemetry",
     "dashboard_stats",
+    "dispatch_stats",
     "execute",
     "profile_stats",
     "remove_observer",
@@ -81,6 +89,19 @@ __all__ = [
 
 #: Where the experiment CLIs cache results unless told otherwise.
 DEFAULT_CACHE_DIR = Path("results") / ".cache"
+
+#: Batched-dispatch knob (inherited by worker processes for telemetry):
+#: unset / "0" / "auto" = adaptive, "1" = unit-per-future, N = literal.
+ENV_BATCH = "REPRO_BATCH_UNITS"
+
+#: Adaptive batching aims for futures of about this much work — long
+#: enough to amortize pickle/IPC and warm worker caches, short enough
+#: that retry/timeout granularity stays useful.
+TARGET_BATCH_SECONDS = 2.0
+#: Batch size used before any telemetry exists to estimate unit cost.
+DEFAULT_BATCH_UNITS = 4
+#: Never batch wider than this, whatever the cost estimate says.
+MAX_BATCH_UNITS = 16
 
 _UNSET = object()
 #: Explicit configuration: a ResultCache, None (= caching disabled), or
@@ -103,6 +124,8 @@ _unit_records: list[obstel.UnitTelemetry] = []
 _profile: dict[tuple, list] = {}
 #: Live observers of execute() progress (the --dashboard reporter).
 _observers: list[Callable[[dict], None]] = []
+#: Accumulated dispatch tallies across execute() calls (manifest).
+_dispatch: dict = {}
 
 
 def sweep_workers() -> int:
@@ -182,6 +205,62 @@ def active_retry_policy() -> RetryPolicy:
     """The policy :func:`execute` will apply to its cache misses."""
     return _retry_policy if _retry_policy is not None \
         else RetryPolicy.from_env()
+
+
+def configure_dispatch(batch_units: int | None) -> None:
+    """Select the batched-dispatch width for subsequent sweeps.
+
+    ``None`` reverts to the environment/adaptive default; ``1`` forces
+    unit-per-future; ``N > 1`` fixes the width.  Exported through
+    ``REPRO_BATCH_UNITS`` so worker telemetry sees the same setting;
+    :func:`reset` restores the caller's environment.
+    """
+    _export_env(ENV_BATCH,
+                None if batch_units is None else str(int(batch_units)))
+
+
+def _auto_batch_units(n_units: int, workers: int) -> int:
+    """Adaptive batch width for one execute() wave.
+
+    Serial sweeps and sweeps that cannot fill every worker twice gain
+    nothing from batching.  Otherwise the width targets
+    :data:`TARGET_BATCH_SECONDS` of work per future using the campaign
+    telemetry's mean unit wall time when available, clamped so every
+    worker still gets work and retry granularity stays sane.
+    """
+    if workers <= 1 or n_units <= workers:
+        return 1
+    size = DEFAULT_BATCH_UNITS
+    if _campaign.units and _campaign.wall_s > 0:
+        mean_s = _campaign.wall_s / _campaign.units
+        if mean_s > 0:
+            size = max(1, int(TARGET_BATCH_SECONDS / mean_s))
+    fair_share = -(-n_units // workers)  # ceil: keep every worker busy
+    return max(1, min(size, MAX_BATCH_UNITS, fair_share))
+
+
+def batch_units_for(n_units: int, workers: int) -> int:
+    """The dispatch width execute() will use (``REPRO_BATCH_UNITS``)."""
+    raw = os.environ.get(ENV_BATCH)
+    if raw in (None, "", "0", "auto"):
+        return _auto_batch_units(n_units, workers)
+    try:
+        return max(1, min(int(raw), MAX_BATCH_UNITS))
+    except ValueError:
+        OBS.warn(f"{ENV_BATCH}={raw!r} is not an integer; "
+                 f"using adaptive batching")
+        return _auto_batch_units(n_units, workers)
+
+
+def dispatch_stats() -> dict | None:
+    """Manifest-ready dispatch tallies (``None`` = nothing batched)."""
+    if not _dispatch:
+        return None
+    return {
+        "batches": _dispatch.get("batches", 0),
+        "batched_units": _dispatch.get("batched_units", 0),
+        "max_batch_units": _dispatch.get("max_batch_units", 0),
+    }
 
 
 def resilience_stats() -> dict | None:
@@ -325,6 +404,7 @@ def reset() -> None:
     _retry_policy = None
     _sweep_seconds.clear()
     _resilience.clear()
+    _dispatch.clear()
     _campaign = obstel.CampaignTelemetry()
     _unit_records.clear()
     _profile.clear()
@@ -401,7 +481,12 @@ def _execute_spec(spec: RunSpec) -> RunMetrics:
     try:
         # Inside the capture on purpose: a quiet worker's warning is
         # then shipped back in UnitTelemetry and reprinted (once) by
-        # the parent's _fold_unit.
+        # the parent's _fold_unit; likewise the dispatch counters land
+        # in this unit's telemetry delta and fold campaign-wide.
+        bs = current_batch_size()
+        if bs > 1:
+            OBS.add("dispatch.batched_units")
+            OBS.add("dispatch.batch_size", bs)
         _warn_if_slow_path()
         metrics = _run_unit(spec)
     except BaseException:
@@ -525,12 +610,26 @@ def execute(specs: Sequence[RunSpec], *,
     if missing:
         todo = [specs[i] for i in missing]
         workers = _effective_workers(len(todo))
+        batch_units = batch_units_for(len(todo), workers)
 
         def _on_unit(j: int, metrics: RunMetrics | None) -> None:
             _fold_unit(metrics)
+            # Persist incrementally, as units land (telemetry has been
+            # popped off meta by _fold_unit): a campaign killed
+            # mid-batch resumes from its survivors, not from the last
+            # fully-completed execute() call.
+            if metrics is not None and cache is not None:
+                cache.put(todo[j], metrics)
             _notify({"kind": "unit_done", "phase": phase,
                      "label": todo[j].describe(),
                      "ok": metrics is not None})
+
+        def _on_batch(size: int) -> None:
+            _dispatch["batches"] = _dispatch.get("batches", 0) + 1
+            _dispatch["batched_units"] = (
+                _dispatch.get("batched_units", 0) + size)
+            _dispatch["max_batch_units"] = max(
+                _dispatch.get("max_batch_units", 0), size)
 
         # With real worker processes, silence their stderr warnings —
         # each worker ships its warning keys back in UnitTelemetry and
@@ -543,7 +642,9 @@ def execute(specs: Sequence[RunSpec], *,
             report = run_resilient(todo, workers=workers,
                                    policy=active_retry_policy(),
                                    runner=_execute_spec,
-                                   on_unit=_on_unit)
+                                   on_unit=_on_unit,
+                                   batch_units=batch_units,
+                                   on_batch=_on_batch)
         finally:
             if quiet:
                 if prev_quiet is None:
@@ -553,8 +654,6 @@ def execute(specs: Sequence[RunSpec], *,
         _tally(report)
         for i, metrics in zip(missing, report.results):
             results[i] = metrics
-            if metrics is not None and cache is not None:
-                cache.put(specs[i], metrics)
         if phase is not None:
             _sweep_seconds[phase] = (_sweep_seconds.get(phase, 0.0)
                                      + time.perf_counter() - t0)

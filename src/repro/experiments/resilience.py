@@ -61,6 +61,7 @@ __all__ = [
     "UnitFailure",
     "backoff_delay",
     "chaos_probe",
+    "current_batch_size",
     "run_resilient",
 ]
 
@@ -283,6 +284,48 @@ def chaos_probe() -> None:
 # ---- resilient execution ----------------------------------------------------
 
 
+#: Size of the batch the *current worker* is executing (1 outside a
+#: batch).  Set by :func:`_run_batch` around its units so the worker's
+#: unit capture can observe its dispatch context.
+_batch_size = 1
+
+
+def current_batch_size() -> int:
+    """How many units share this worker's current future (>= 1)."""
+    return _batch_size
+
+
+def _run_batch(runner: Callable[[RunSpec], RunMetrics],
+               specs: list[RunSpec]) -> list[tuple[str, object]]:
+    """Worker entry for one multi-unit batch.
+
+    Each unit is isolated with its own ``except Exception`` so one bad
+    unit cannot poison its siblings' finished results — the parent
+    retries only the units that actually failed, individually.  (A
+    crash/``os._exit`` still kills the whole future; the parent charges
+    every rider an attempt, exactly like any pool break.)
+    """
+    global _batch_size
+    _batch_size = len(specs)
+    try:
+        out: list[tuple[str, object]] = []
+        for spec in specs:
+            try:
+                out.append(("ok", runner(spec)))
+            except Exception as exc:  # noqa: BLE001 - anything may come back
+                out.append(("err", f"{type(exc).__name__}: {exc}"))
+        return out
+    finally:
+        _batch_size = 1
+
+
+def _default_group_key(spec) -> object:
+    """Workload-major batching: units of one workload share filtered
+    streams and decode tables, so co-locating them on one worker turns
+    those loads into resident-cache hits."""
+    return getattr(spec, "workload", None)
+
+
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Best-effort kill of a pool with a wedged or dead worker."""
     procs = getattr(pool, "_processes", None) or {}
@@ -336,6 +379,9 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
                   runner: Callable[[RunSpec], RunMetrics] | None = None,
                   on_unit: Callable[[int, RunMetrics | None], None]
                   | None = None,
+                  batch_units: int = 1,
+                  group_key: Callable[[RunSpec], object] | None = None,
+                  on_batch: Callable[[int], None] | None = None,
                   ) -> ExecutionReport:
     """Execute every spec, surviving crashes, hangs, and flaky failures.
 
@@ -350,6 +396,16 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
             ``(index, None)`` after the last attempt fails.  Retried
             attempts do not fire.  The engine uses this to fold
             telemetry and feed the live dashboard as units land.
+        batch_units: Group up to this many first-attempt units sharing
+            one ``group_key`` into a single future, amortizing pickle/
+            IPC and maximizing worker-resident cache hits.  ``1`` (the
+            default) keeps the historical unit-per-future dispatch.
+            Retried units always travel alone, so a poisonous unit
+            stops taking siblings down with it.
+        group_key: Batching affinity (default: the spec's ``workload``
+            — units of one workload share stream/decode caches).
+        on_batch: Parent-process callback fired with the batch size at
+            each multi-unit submit (dispatch accounting).
 
     Returns:
         An :class:`ExecutionReport` whose ``results`` parallel ``specs``
@@ -360,6 +416,8 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
     if runner is None:
         from repro.experiments.engine import _execute_spec
         runner = _execute_spec
+    if group_key is None:
+        group_key = _default_group_key
 
     report = ExecutionReport(results=[None] * len(specs))
     pending: deque[tuple[int, int]] = deque(
@@ -369,8 +427,22 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
         _run_serial(pending, specs, runner, policy, report, on_unit)
         return report
 
+    def _fail(index: int, attempt: int, error: str,
+              timed_out: bool = False) -> None:
+        report.failures.append(UnitFailure(
+            index=index, key=specs[index].key(),
+            label=specs[index].describe(), attempts=attempt,
+            error=error, timed_out=timed_out))
+        OBS.add("resilience.unit_failed")
+        if on_unit is not None:
+            on_unit(index, None)
+
     consecutive_breaks = 0
     pool = ProcessPoolExecutor(max_workers=workers)
+    # future -> (group, deadline); group is [(index, attempt), ...] —
+    # a singleton for classic dispatch, longer when batched.  A batch's
+    # deadline scales with its size: the units run sequentially in one
+    # worker, so each still gets ``unit_timeout`` on average.
     in_flight: dict = {}
     try:
         while pending or in_flight:
@@ -378,78 +450,110 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
             # so a crash never takes down a huge queue of futures.
             while pending and len(in_flight) < workers * 2:
                 index, attempt = pending.popleft()
-                fut = pool.submit(runner, specs[index])
+                group = [(index, attempt)]
+                if batch_units > 1 and attempt == 1:
+                    # Greedily extend with consecutive first-attempt
+                    # units of the same affinity (specs arrive
+                    # workload-major from the engine, so "consecutive"
+                    # is enough — no lookahead reordering).
+                    affinity = group_key(specs[index])
+                    while (pending and len(group) < batch_units
+                           and pending[0][1] == 1
+                           and group_key(specs[pending[0][0]]) == affinity):
+                        group.append(pending.popleft())
+                if len(group) == 1:
+                    fut = pool.submit(runner, specs[index])
+                else:
+                    fut = pool.submit(
+                        _run_batch, runner, [specs[i] for i, _ in group])
+                    OBS.add("dispatch.batches")
+                    if on_batch is not None:
+                        on_batch(len(group))
                 deadline = (None if policy.unit_timeout is None
-                            else time.monotonic() + policy.unit_timeout)
-                in_flight[fut] = (index, attempt, deadline)
+                            else time.monotonic()
+                            + policy.unit_timeout * len(group))
+                in_flight[fut] = (group, deadline)
             done, _ = wait(list(in_flight), timeout=0.05,
                            return_when=FIRST_COMPLETED)
 
             broke = False
             interrupted: list[tuple[int, int]] = []
             for fut in done:
-                index, attempt, _ = in_flight.pop(fut)
+                group, _ = in_flight.pop(fut)
                 exc = fut.exception()
                 if exc is None:
-                    report.results[index] = fut.result()
                     consecutive_breaks = 0
-                    OBS.add("sweep.runs_done")
-                    if on_unit is not None:
-                        on_unit(index, report.results[index])
+                    if len(group) == 1:
+                        [(index, attempt)] = group
+                        outcomes = [("ok", fut.result())]
+                    else:
+                        outcomes = fut.result()
+                    for (index, attempt), (status, payload) in zip(
+                            group, outcomes):
+                        if status == "ok":
+                            report.results[index] = payload
+                            OBS.add("sweep.runs_done")
+                            if on_unit is not None:
+                                on_unit(index, report.results[index])
+                        elif attempt < policy.max_attempts:
+                            # Failed mid-batch: re-enqueued individually
+                            # (attempt > 1 units never re-batch).
+                            report.retries += 1
+                            OBS.add("resilience.retry")
+                            time.sleep(backoff_delay(
+                                specs[index].key(), attempt, policy))
+                            pending.append((index, attempt + 1))
+                        else:
+                            _fail(index, attempt, str(payload))
                 elif isinstance(exc, BrokenProcessPool):
                     # Every in-flight future gets this when any worker
                     # dies; the culprit is unknowable, so all of them
                     # are charged an attempt below.
-                    interrupted.append((index, attempt))
+                    interrupted.extend(group)
                     broke = True
                 else:
-                    if attempt < policy.max_attempts:
-                        report.retries += 1
-                        OBS.add("resilience.retry")
-                        time.sleep(
-                            backoff_delay(specs[index].key(), attempt,
-                                          policy))
-                        pending.append((index, attempt + 1))
-                    else:
-                        report.failures.append(UnitFailure(
-                            index=index, key=specs[index].key(),
-                            label=specs[index].describe(), attempts=attempt,
-                            error=f"{type(exc).__name__}: {exc}"))
-                        OBS.add("resilience.unit_failed")
-                        if on_unit is not None:
-                            on_unit(index, None)
+                    # The future itself failed (a singleton unit error,
+                    # or a batch that died outside per-unit isolation,
+                    # e.g. an unpicklable result): charge every rider.
+                    for index, attempt in group:
+                        if attempt < policy.max_attempts:
+                            report.retries += 1
+                            OBS.add("resilience.retry")
+                            time.sleep(
+                                backoff_delay(specs[index].key(), attempt,
+                                              policy))
+                            pending.append((index, attempt + 1))
+                        else:
+                            _fail(index, attempt,
+                                  f"{type(exc).__name__}: {exc}")
 
             # Hung units: anything still running past its deadline.  A
-            # unit still *queued* past its deadline (a sibling hogged
+            # future still *queued* past its deadline (a sibling hogged
             # the worker) is cancelled and re-queued uncharged — only
             # actually-running units count as hangs.
             now = time.monotonic()
             hung = []
-            for fut, (index, attempt, dl) in list(in_flight.items()):
+            for fut, (group, dl) in list(in_flight.items()):
                 if dl is None or now <= dl:
                     continue
                 if fut.cancel():
                     in_flight.pop(fut)
-                    pending.appendleft((index, attempt))
+                    pending.extendleft(reversed(group))
                 else:
                     hung.append(fut)
             if hung:
-                report.timeouts += len(hung)
-                OBS.add("resilience.timeout", len(hung))
                 for fut in hung:
-                    index, attempt, _ = in_flight.pop(fut)
-                    if attempt < policy.max_attempts:
-                        report.retries += 1
-                        pending.append((index, attempt + 1))
-                    else:
-                        report.failures.append(UnitFailure(
-                            index=index, key=specs[index].key(),
-                            label=specs[index].describe(), attempts=attempt,
-                            error=f"unit exceeded {policy.unit_timeout:g}s "
-                                  f"wall-clock timeout", timed_out=True))
-                        OBS.add("resilience.unit_failed")
-                        if on_unit is not None:
-                            on_unit(index, None)
+                    group, _ = in_flight.pop(fut)
+                    report.timeouts += len(group)
+                    OBS.add("resilience.timeout", len(group))
+                    for index, attempt in group:
+                        if attempt < policy.max_attempts:
+                            report.retries += 1
+                            pending.append((index, attempt + 1))
+                        else:
+                            _fail(index, attempt,
+                                  f"unit exceeded {policy.unit_timeout:g}s "
+                                  f"wall-clock timeout", timed_out=True)
                 broke = True
 
             if broke:
@@ -458,23 +562,17 @@ def run_resilient(specs: Sequence[RunSpec], *, workers: int,
                 report.pool_breaks += 1
                 consecutive_breaks += 1
                 OBS.add("resilience.pool_break")
-                interrupted.extend(
-                    (index, attempt)
-                    for index, attempt, _ in in_flight.values())
+                for group, _ in in_flight.values():
+                    interrupted.extend(group)
                 in_flight.clear()
                 for index, attempt in interrupted:
                     if attempt < policy.max_attempts:
                         pending.append((index, attempt + 1))
                         report.retries += 1
                     else:
-                        report.failures.append(UnitFailure(
-                            index=index, key=specs[index].key(),
-                            label=specs[index].describe(), attempts=attempt,
-                            error="worker pool broke repeatedly under "
-                                  "this unit"))
-                        OBS.add("resilience.unit_failed")
-                        if on_unit is not None:
-                            on_unit(index, None)
+                        _fail(index, attempt,
+                              "worker pool broke repeatedly under "
+                              "this unit")
                 _terminate_pool(pool)
                 if consecutive_breaks >= policy.max_pool_breaks:
                     OBS.warn(

@@ -44,6 +44,34 @@ from repro.memctrl.addrmap import LINE_BITS, LINE_BYTES
 from repro.memctrl.scheduler import fcfs_order, frfcfs_order
 from repro.memctrl.system import MemorySystem
 from repro.obs.registry import OBS
+from repro.util.resident import ResidentLRU, content_digest
+
+#: Process-level memo of decoded routing columns, keyed by content hash
+#: of (groups, gaddrs, kind) + addressing geometry.  The decode is a
+#: pure function of those inputs and the columns are read-only during
+#: replay (``service_soa`` only writes the per-replay output lists), so
+#: a worker replaying the same placement against interchangeable
+#: systems — or re-running a unit — skips the vectorized decode and the
+#: eight ``tolist()`` materializations entirely.
+_DECODE_CACHE = ResidentLRU(16)
+
+
+def decode_cache_stats() -> dict:
+    return _DECODE_CACHE.stats_dict()
+
+
+def _geometry_doc(memsys: MemorySystem, bases) -> list:
+    """Everything besides (groups, gaddrs, kind) the decode depends on."""
+    doc = [list(int(b) for b in bases)]
+    for g in memsys.groups:
+        amap = g.addrmap
+        mod = g.modules[0]
+        doc.append([amap.n_channels, bool(amap._pow2), int(amap._k),
+                    int(mod._col_bits), int(mod._sub_mask),
+                    int(mod._sub_bits), int(mod._bank_mask),
+                    int(mod._bank_bits), int(g.timing.n_banks),
+                    int(g.timing.n_rows)])
+    return doc
 
 
 class ReplayTables:
@@ -76,6 +104,32 @@ class ReplayTables:
         n = len(gaddrs)
         groups = np.asarray(groups, dtype=np.int64)
         gaddrs = np.asarray(gaddrs, dtype=np.int64)
+        kind = np.asarray(kind, dtype=np.int64)
+        digest = content_digest(groups, gaddrs, kind,
+                                extra=_geometry_doc(memsys, bases))
+        shared = _DECODE_CACHE.get(digest)
+        if shared is None:
+            shared = self._decode(memsys, bases, groups, gaddrs, kind)
+            _DECODE_CACHE.put(digest, shared)
+        else:
+            OBS.add("replay.decode_reuse")
+            OBS.add("data_plane.copies_avoided")
+        (self._ctrl_np, self._demand_np, self._write_np,
+         self.ctrl_l, self.grp_l, self.sub_l, self.fbank_l, self.row_l,
+         self.gaddr_l, self.write_l, self.klass_l) = shared
+        # Per-record outputs, filled by service_soa, read at finalize.
+        self.done_l = [0] * n
+        self.queue_l = [0] * n
+        self.service_l = [0] * n
+        self.hit_l = [False] * n
+        self.bb_l = [0] * n
+        self._flushed = False
+
+    @staticmethod
+    def _decode(memsys: MemorySystem, bases, groups: np.ndarray,
+                gaddrs: np.ndarray, kind: np.ndarray) -> tuple:
+        """Vectorized routing/decode; pure in its arguments (memoized)."""
+        n = len(gaddrs)
         ctrl = np.zeros(n, dtype=np.int64)
         sub = np.zeros(n, dtype=np.int64)
         fbank = np.zeros(n, dtype=np.int64)
@@ -106,32 +160,16 @@ class ReplayTables:
             sub[sel] = sb
             fbank[sel] = sb * g.timing.n_banks + bk
             row[sel] = (dline2 >> mod._bank_bits) % g.timing.n_rows
-        kind = np.asarray(kind, dtype=np.int64)
         demand = kind <= KIND_STORE
         write = (kind == KIND_STORE) | (kind == KIND_WRITEBACK)
         # FR-FCFS criticality: demand read 0, demand write 1, background 2.
         klass = np.where(demand, np.where(write, 1, 0), 2)
-
-        self._ctrl_np = ctrl
-        self._demand_np = demand
-        self._write_np = write
         # Hot-loop columns as plain-int lists (one tolist() each; list
         # indexing beats numpy scalar extraction ~10x in the kernel).
-        self.ctrl_l = ctrl.tolist()
-        self.grp_l = groups.tolist()
-        self.sub_l = sub.tolist()
-        self.fbank_l = fbank.tolist()
-        self.row_l = row.tolist()
-        self.gaddr_l = gaddrs.tolist()
-        self.write_l = write.tolist()
-        self.klass_l = klass.tolist()
-        # Per-record outputs, filled by service_soa, read at finalize.
-        self.done_l = [0] * n
-        self.queue_l = [0] * n
-        self.service_l = [0] * n
-        self.hit_l = [False] * n
-        self.bb_l = [0] * n
-        self._flushed = False
+        return (ctrl, demand, write,
+                ctrl.tolist(), groups.tolist(), sub.tolist(),
+                fbank.tolist(), row.tolist(), gaddrs.tolist(),
+                write.tolist(), klass.tolist())
 
     # ---- episode drain ----------------------------------------------------------
 

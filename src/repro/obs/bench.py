@@ -63,6 +63,10 @@ TREND_FLOOR = 0.5  #: latest < this fraction of same-host median -> flag
 BASELINE_SLACK = 0.85  #: benchmarks' own 15%-below-baseline rule
 REPLAY_ABS_FLOOR = 5.0
 FILTER_ABS_FLOOR = 4.0
+#: Campaign throughput is absolute (units/s), not a self-relative
+#: speedup, so the committed baseline only transfers loosely across
+#: machines — gate with generous slack.
+CAMPAIGN_SLACK = 0.25
 
 
 def host_fingerprint() -> dict:
@@ -145,9 +149,17 @@ def hotpath_record(bench_dir: str | Path) -> dict:
         rec["filter_speedup"] = doc.get("speedup")
         rec["filter_acc_per_s"] = doc.get("fast_accesses_per_sec")
         found = True
+    camp = bench_dir / "BENCH_campaign.json"
+    if camp.exists():
+        doc = json.loads(camp.read_text())
+        rec["campaign_units_per_s"] = doc.get("units_per_sec")
+        rec["campaign_speedup"] = doc.get("speedup")
+        rec["campaign_copies_avoided"] = doc.get("copies_avoided")
+        found = True
     if not found:
         raise FileNotFoundError(
-            f"no BENCH_hotpath.json / BENCH_filter.json under {bench_dir} "
+            f"no BENCH_hotpath.json / BENCH_filter.json / "
+            f"BENCH_campaign.json under {bench_dir} "
             "— run the hotpath benchmarks first")
     return rec
 
@@ -215,6 +227,16 @@ def check_regressions(history: list[dict],
                 flags.append(
                     f"{metric} {value:.2f}x below floor {floor:.2f}x "
                     f"(baseline {baseline['speedup']}x)")
+        value = latest.get("campaign_units_per_s")
+        baseline = _load_baseline(baseline_dir, "campaign_baseline.json")
+        if value is not None and baseline is not None:
+            floor = CAMPAIGN_SLACK * baseline["units_per_sec"]
+            if value < floor:
+                flags.append(
+                    f"campaign_units_per_s {value:.2f}/s below floor "
+                    f"{floor:.2f}/s (baseline "
+                    f"{baseline['units_per_sec']}/s at {CAMPAIGN_SLACK:g}x "
+                    f"slack)")
 
     camp = [r for r in history if r.get("kind") == "campaign"]
     if len(camp) >= 2:
@@ -280,10 +302,11 @@ def render_report(history: list[dict], last: int = 12) -> str:
             f"{sha:>7}  {r.get('fidelity', '-') or '-':>7}  "
             f"{r.get('replay_acc_per_s') or '-':>10}  "
             f"{r.get('filter_acc_per_s') or '-':>10}  {speed:>12}")
-    for metric in ("replay_acc_per_s", "filter_acc_per_s"):
+    for metric in ("replay_acc_per_s", "filter_acc_per_s",
+                   "campaign_units_per_s"):
         vals = [float(r[metric]) for r in recent if r.get(metric)]
         if len(vals) >= 2:
-            lines.append(f"{metric:>18}: {_sparkline(vals)} "
+            lines.append(f"{metric:>20}: {_sparkline(vals)} "
                          f"(min {min(vals):.0f}, max {max(vals):.0f})")
     return "\n".join(lines) + "\n"
 

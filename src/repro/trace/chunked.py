@@ -1,23 +1,32 @@
-"""Chunked traces: npz column shards in a content-addressed store.
+"""Chunked traces: mmap-native column shards in a content-addressed store.
 
 A monolithic :class:`~repro.trace.events.AccessTrace` holds five full-
 length columns in memory — fine at the default fidelity, hostile at
 tens of millions of accesses or when importing real captured traces.
 :class:`ChunkedTrace` stores the same five columns as fixed-size
-``numpy.savez_compressed`` shards on disk and replays them window by
-window, so both trace *generation* (shard-by-shard from
-``TraceBuilder.iter_blocks``) and cache *filtering*
+shards on disk and replays them window by window, so both trace
+*generation* (shard-by-shard from ``TraceBuilder.iter_blocks``) and
+cache *filtering*
 (:meth:`~repro.cpu.hierarchy.CacheHierarchy.filter_chunked`) run in
 bounded RSS while producing byte-identical results to the monolithic
 path (pinned by ``tests/test_trace_chunked.py``).
+
+Store format v2 writes each shard as raw aligned ``.npy`` column files
+loaded with ``np.load(mmap_mode="r")`` — a window maps lazily off the
+page cache instead of decompressing into private memory, so concurrent
+readers of one entry share physical pages.  Legacy v1 entries
+(``numpy.savez_compressed`` shards) stay readable in place; the
+``shard_format`` manifest field tells the loader which shape an entry
+has, and the version field keeps genuinely unknown formats out.
 
 Store layout — one directory per trace, named by the SHA-256 of its
 canonical key document (the :mod:`repro.sim.stream_store` economy
 applied one stage earlier in the pipeline)::
 
-    <store>/<digest>/shard-00000.npz   # inst/vaddr/is_write/obj_id/dep
-    <store>/<digest>/shard-00001.npz
-    <store>/<digest>/manifest.json     # written last = entry complete
+    <store>/<digest>/shard-00000.inst.npy   # one file per column (v2)
+    <store>/<digest>/shard-00000.vaddr.npy  # ... is_write/obj_id/dep
+    <store>/<digest>/shard-00001.inst.npy
+    <store>/<digest>/manifest.json          # written last = complete
 
 Robustness rules mirror the stream store: every file is written to a
 temp name and ``os.replace``d, the manifest is written only after all
@@ -66,8 +75,12 @@ __all__ = [
     "trace_key",
 ]
 
-#: On-disk entry format; entries from other versions are dropped.
-TRACE_STORE_VERSION = 1
+#: On-disk entry format; entries from other versions are dropped —
+#: except v1 (npz shards), which stays readable in place.
+TRACE_STORE_VERSION = 2
+
+#: Versions :meth:`TraceStore.get` will serve.
+READABLE_VERSIONS = (1, TRACE_STORE_VERSION)
 
 #: Environment selection (inherited by sweep worker processes).
 ENV_DIR = "REPRO_TRACE_STORE_DIR"
@@ -125,6 +138,11 @@ class ChunkedTrace:
             raise ValueError(
                 f"shard rows sum to {sum(self.shard_rows)}, manifest "
                 f"says {self.n_accesses} accesses")
+        # v1 manifests predate the field and always hold npz shards.
+        self.shard_format = manifest.get("shard_format", "npz")
+        if self.shard_format not in ("npz", "npy"):
+            raise ValueError(
+                f"unknown shard format {self.shard_format!r}")
         self.layout = layout_from_doc(manifest["layout"])
 
     def __len__(self) -> int:
@@ -135,7 +153,14 @@ class ChunkedTrace:
         return len(self.shard_rows)
 
     def shard_path(self, i: int) -> Path:
-        return self.directory / f"shard-{i:05d}.npz"
+        """A representative file of shard ``i`` (the whole npz in v1,
+        the ``inst`` column in v2) — damage it and the shard is gone."""
+        if self.shard_format == "npz":
+            return self.directory / f"shard-{i:05d}.npz"
+        return self.column_path(i, "inst")
+
+    def column_path(self, i: int, name: str) -> Path:
+        return self.directory / f"shard-{i:05d}.{name}.npy"
 
     def windows(self):
         """Yield one :class:`AccessTrace` window per shard, in order.
@@ -152,8 +177,19 @@ class ChunkedTrace:
     def _load_shard(self, i: int) -> AccessTrace:
         path = self.shard_path(i)
         try:
-            with np.load(path) as data:
-                cols = {name: data[name] for name in COLUMN_DTYPES}
+            if self.shard_format == "npy":
+                # v2: map each column read-only; pages fault in lazily
+                # and are shared machine-wide through the page cache.
+                cols = {}
+                mapped = 0
+                for name in COLUMN_DTYPES:
+                    arr = np.load(self.column_path(i, name), mmap_mode="r")
+                    cols[name] = arr
+                    mapped += arr.nbytes
+                OBS.add("data_plane.bytes_mapped", mapped)
+            else:
+                with np.load(path) as data:
+                    cols = {name: data[name] for name in COLUMN_DTYPES}
             n = self.shard_rows[i]
             for name, dtype in COLUMN_DTYPES.items():
                 col = cols[name]
@@ -194,14 +230,6 @@ class ChunkedTrace:
 # ---- writing ----------------------------------------------------------------
 
 
-def _atomic_write_npz(path: Path, arrays: dict) -> None:
-    # savez appends ".npz" unless the name already ends with it — keep
-    # the temp name an .npz so os.replace moves the real file.
-    tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
-    np.savez_compressed(tmp, **arrays)
-    os.replace(tmp, path)
-
-
 class _Resharder:
     """Accumulate variable-size column blocks, emit fixed-size shards."""
 
@@ -229,13 +257,17 @@ class _Resharder:
         return self.shard_rows
 
     def _emit(self, rows: int) -> None:
-        out = {}
+        stem = f"shard-{len(self.shard_rows):05d}"
+        pid = os.getpid()
         for name in COLUMN_DTYPES:
             whole = np.concatenate(self.bufs[name])
-            out[name] = whole[:rows]
             self.bufs[name] = [whole[rows:]] if rows < len(whole) else []
-        _atomic_write_npz(
-            self.directory / f"shard-{len(self.shard_rows):05d}.npz", out)
+            # Raw .npy per column: np.save pads the header to a 64-byte
+            # boundary, so readers can map the data aligned.
+            target = self.directory / f"{stem}.{name}.npy"
+            tmp = target.with_name(f".{target.name}.{pid}.tmp.npy")
+            np.save(tmp, np.ascontiguousarray(whole[:rows]))
+            os.replace(tmp, target)
         self.shard_rows.append(rows)
         self.buffered -= rows
 
@@ -283,6 +315,7 @@ def _write_entry(directory: str | Path, chunk_accesses: int,
             "version": TRACE_STORE_VERSION,
             "repro_version": __version__,
             "key": key,
+            "shard_format": "npy",
             "n_accesses": sum(shard_rows),
             "chunk_accesses": int(chunk_accesses),
             "shard_rows": shard_rows,
@@ -393,12 +426,17 @@ class TraceStore:
             OBS.add("trace_store.corrupt")
             shutil.rmtree(entry, ignore_errors=True)
             return None
-        if manifest.get("version") != TRACE_STORE_VERSION:
-            # Another (older/newer) format after an upgrade — drop it
-            # quietly and rebuild.
+        if manifest.get("version") not in READABLE_VERSIONS:
+            # A genuinely unknown (newer, or pre-v1) format after an
+            # upgrade — drop it quietly and rebuild.
             shutil.rmtree(entry, ignore_errors=True)
             OBS.add("trace_store.stale")
             return None
+        if manifest.get("version") != TRACE_STORE_VERSION:
+            # v1 npz shards: served in place (no rewrite — resharding
+            # a large entry on read would defeat the bounded-RSS point;
+            # it ages out via normal rebuild/eviction instead).
+            OBS.add("trace_store.legacy_hit")
         try:
             trace = ChunkedTrace(entry, manifest)
         except (KeyError, TypeError, ValueError) as exc:

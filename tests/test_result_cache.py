@@ -20,6 +20,7 @@ from hypothesis import strategies as st
 from repro.cpu.core import CoreResult
 from repro.experiments import engine
 from repro.experiments.cache import CACHE_VERSION, CacheStats, ResultCache
+from repro.obs.registry import OBS
 from repro.sim.metrics import RunMetrics
 from repro.sim.spec import RunSpec, run
 
@@ -129,6 +130,57 @@ class TestResultCache:
         assert stats.hit_ratio == 0.75
         assert CacheStats().hit_ratio == 0.0
         assert stats.to_dict()["hit_ratio"] == 0.75
+
+
+class TestMemoLayer:
+    """The process-level memo fronting the disk entries: repeat lookups
+    skip read+parse, the stat signature keeps sibling processes honest,
+    and ``--refresh`` distrusts it wholesale."""
+
+    @pytest.fixture(autouse=True)
+    def _obs(self):
+        OBS.reset().enable()
+        yield
+        OBS.reset().disable()
+
+    def test_repeat_get_served_from_memo(self, tmp_path, metrics):
+        cache = ResultCache(tmp_path)
+        cache.put(SPEC, metrics)  # put seeds the memo
+        assert cache.get(SPEC) == metrics
+        assert OBS.counters.get("cache.memo_hit") == 1
+        assert OBS.counters.get("data_plane.copies_avoided") == 1
+        assert cache.stats.hits == 1  # memo hits are still cache hits
+
+    def test_memo_keyed_by_directory(self, tmp_path, metrics):
+        ResultCache(tmp_path / "a").put(SPEC, metrics)
+        # Same spec, different cache root: the memo entry for "a" must
+        # not leak into "b".
+        assert ResultCache(tmp_path / "b").get(SPEC) is None
+
+    def test_external_overwrite_invalidates_memo(self, tmp_path, metrics):
+        cache = ResultCache(tmp_path)
+        path = cache.put(SPEC, metrics)
+        # A sibling process replaces the entry: new bytes, new stat
+        # signature — our memo entry must be bypassed in favour of disk.
+        doc = json.loads(path.read_text())
+        doc["metrics"]["exec_cycles"] = doc["metrics"]["exec_cycles"] + 1
+        path.write_text(json.dumps(doc))
+        got = cache.get(SPEC)
+        assert got.exec_cycles == metrics.exec_cycles + 1
+        assert "cache.memo_hit" not in OBS.counters
+
+    def test_vanished_file_misses_despite_memo(self, tmp_path, metrics):
+        cache = ResultCache(tmp_path)
+        cache.put(SPEC, metrics).unlink()
+        assert cache.get(SPEC) is None
+        assert cache.stats.misses == 1
+        assert "cache.memo_hit" not in OBS.counters
+
+    def test_refresh_clears_memo(self, tmp_path, metrics):
+        ResultCache(tmp_path).put(SPEC, metrics)
+        ResultCache(tmp_path, refresh=True)  # construction clears memo
+        assert ResultCache(tmp_path).get(SPEC) == metrics  # via disk
+        assert "cache.memo_hit" not in OBS.counters
 
 
 class TestMetricsRoundTrip:

@@ -1,10 +1,12 @@
-"""Tests for trace persistence (.npz round-trip)."""
+"""Tests for trace persistence (.npz and mmap-directory round-trips)."""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.cpu.hierarchy import CacheHierarchy
-from repro.trace.io import load_trace, save_trace
+from repro.trace.io import TRACE_META_NAME, load_trace, save_trace
 from repro.workloads.inputs import build_app_trace
 
 
@@ -57,7 +59,6 @@ class TestTraceRoundtrip:
         assert "dog_pyr" in names
 
     def test_bad_version_rejected(self, tiny_trace, tmp_path):
-        import json
         path = tmp_path / "t.trace.npz"
         save_trace(tiny_trace, path)
         # Corrupt the embedded version.
@@ -68,4 +69,57 @@ class TestTraceRoundtrip:
                                        dtype=np.uint8)
         np.savez_compressed(path, **data)
         with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestDirectoryFormat:
+    """The v2 mmap-native directory format (non-.npz target paths)."""
+
+    def test_round_trip_is_mmap(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(tiny_trace, path)
+        assert (path / TRACE_META_NAME).exists()
+        restored = load_trace(path)
+        assert isinstance(restored.inst, np.memmap)
+        assert not restored.inst.flags.writeable
+        for name in ("inst", "vaddr", "is_write", "obj_id", "dep"):
+            got, want = getattr(restored, name), getattr(tiny_trace, name)
+            assert got.dtype == want.dtype and (got == want).all(), name
+        assert restored.total_instructions == tiny_trace.total_instructions
+
+    def test_layout_and_resolution_identical(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(tiny_trace, path)
+        restored = load_trace(path)
+        for a, b in zip(restored.layout.objects, tiny_trace.layout.objects):
+            assert (a.name, a.vbase, a.size_bytes, a.site) == \
+                (b.name, b.vbase, b.size_bytes, b.site)
+        probe = tiny_trace.vaddr[:500]
+        assert (restored.resolve_objects(probe)
+                == tiny_trace.resolve_objects(probe)).all()
+
+    def test_cache_filter_identical(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(tiny_trace, path)
+        restored = load_trace(path)
+        s1, _ = CacheHierarchy().filter_trace(tiny_trace)
+        s2, _ = CacheHierarchy().filter_trace(restored)
+        assert (s1.vline == s2.vline).all()
+        assert (s1.kind == s2.kind).all()
+
+    def test_bad_version_rejected(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(tiny_trace, path)
+        meta = path / TRACE_META_NAME
+        doc = json.loads(meta.read_text())
+        doc["version"] = 99
+        meta.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_wrong_dtype_rejected(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(tiny_trace, path)
+        np.save(path / "obj_id", tiny_trace.obj_id.astype(np.int64))
+        with pytest.raises(ValueError, match="obj_id"):
             load_trace(path)
